@@ -1,0 +1,128 @@
+// Command nvwa-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	nvwa-bench [-exp all|fig2|fig5|fig6|fig8|fig9|fig11|fig12|fig13a|fig13b|fig14|tab1|tab2]
+//	           [-reads N] [-reflen N] [-seed N]
+//
+// Each experiment prints the rows or series of the corresponding paper
+// artifact; EXPERIMENTS.md records paper-versus-measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nvwa/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig2,fig5,fig6,fig8,fig9,fig11,fig12,fig13a,fig13b,fig14,tab1,tab2,seeding,intraunit,bands,frontend) or 'all'")
+	reads := flag.Int("reads", 4000, "number of simulated reads for system experiments")
+	refLen := flag.Int("reflen", 200000, "synthetic reference length (bp)")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	need := func(id string) bool { return all || want[id] }
+
+	var env *experiments.Env
+	getEnv := func() *experiments.Env {
+		if env == nil {
+			fmt.Fprintf(os.Stderr, "building workload: %d bp reference, %d reads (seed %d)...\n", *refLen, *reads, *seed)
+			env = experiments.NewEnv(*refLen, *reads, *seed)
+		}
+		return env
+	}
+
+	ran := 0
+	if need("fig2") {
+		fmt.Println(experiments.Fig2(getEnv(), 500).Format())
+		ran++
+	}
+	if need("fig5") {
+		fmt.Println(experiments.Fig5(nil, 4).Format())
+		ran++
+	}
+	if need("fig6") {
+		fmt.Println(experiments.FormatFig6(experiments.Fig6()))
+		ran++
+	}
+	if need("fig8") {
+		fmt.Println(experiments.FormatFig8(experiments.Fig8()))
+		ran++
+	}
+	if need("fig9") {
+		fmt.Println(experiments.Fig9().Format())
+		ran++
+	}
+	if need("fig11") {
+		fmt.Println(experiments.Fig11(getEnv()).Format())
+		ran++
+	}
+	if need("fig12") {
+		fmt.Println(experiments.Fig12(getEnv()).Format())
+		ran++
+	}
+	if need("fig13a") {
+		fmt.Println(experiments.FormatFig13a(experiments.Fig13a(getEnv(), nil)))
+		ran++
+	}
+	if need("fig13b") {
+		fmt.Println(experiments.FormatFig13b(experiments.Fig13b(getEnv(), nil)))
+		ran++
+	}
+	if need("fig14") {
+		n := *reads / 2
+		if n < 500 {
+			n = 500
+		}
+		fmt.Println(experiments.FormatFig14(experiments.Fig14(*refLen, n, *seed)))
+		ran++
+	}
+	if need("seeding") {
+		res, err := experiments.SeedingTraffic(getEnv(), 500, 12)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Format())
+		ran++
+	}
+	if need("intraunit") {
+		fmt.Println(experiments.FormatIntraUnit(experiments.IntraUnit(getEnv())))
+		ran++
+	}
+	if need("bands") {
+		fmt.Println(experiments.FormatBandPressure(experiments.BandPressure(getEnv(), 500)))
+		ran++
+	}
+	if need("frontend") {
+		rows, err := experiments.FrontEnds(getEnv())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.FormatFrontEnds(rows))
+		ran++
+	}
+	if need("tab1") {
+		fmt.Println(experiments.Table1(getEnv().NvWaOptions().Config))
+		ran++
+	}
+	if need("tab2") {
+		fmt.Println(experiments.Table2(getEnv().RunNvWa()).Format())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,69 @@
+// Command nvwa-dse sweeps the Coordinator design space (paper
+// Fig. 13) and prints CSV: one row per (hits-buffer depth, interval
+// count) point with throughput, utilizations, and Coordinator power.
+//
+// Usage:
+//
+//	nvwa-dse [-reads N] [-reflen N] [-seed N]
+//	         [-depths 64,256,1024,4096] [-intervals 1,2,4,8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"nvwa/internal/energy"
+	"nvwa/internal/experiments"
+)
+
+func main() {
+	reads := flag.Int("reads", 3000, "number of simulated reads")
+	refLen := flag.Int("reflen", 150000, "synthetic reference length (bp)")
+	seed := flag.Int64("seed", 42, "random seed")
+	depths := flag.String("depths", "64,256,1024,4096", "hits-buffer depths to sweep")
+	intervals := flag.String("intervals", "1,2,4,8", "interval counts to sweep")
+	flag.Parse()
+
+	ds, err := parseInts(*depths)
+	if err != nil {
+		fail(err)
+	}
+	ns, err := parseInts(*intervals)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "building workload: %d bp, %d reads...\n", *refLen, *reads)
+	env := experiments.NewEnv(*refLen, *reads, *seed)
+
+	fmt.Println("sweep,param,throughput_kreads,su_util,eu_util,coord_buffer_w,coord_logic_w")
+	for _, row := range experiments.Fig13a(env, ds) {
+		bw, lw := energy.CoordinatorPower(4, row.Depth)
+		fmt.Printf("depth,%d,%.0f,%.4f,%.4f,%.4f,%.4f\n",
+			row.Depth, row.ThroughputKReads, row.SUUtil, row.EUUtil, bw, lw)
+	}
+	for _, row := range experiments.Fig13b(env, ns) {
+		fmt.Printf("intervals,%d,%.0f,,,%.4f,%.4f\n",
+			row.Intervals, row.ThroughputKReads, row.BufferPowerW, row.LogicPowerW)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("nvwa-dse: bad integer %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

@@ -1,0 +1,139 @@
+// Command nvwa-sim runs one accelerator simulation and prints the
+// report: throughput, utilizations, allocation quality, and memory
+// traffic.
+//
+// Usage:
+//
+//	nvwa-sim [-reads N] [-reflen N] [-seed N]
+//	         [-sus N] [-buffer N] [-seeding one-cycle|batch]
+//	         [-alloc grouped|exclusive|shared|fifo]
+//	         [-pool derived|table1|uniform]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"nvwa"
+	"nvwa/internal/accel"
+	"nvwa/internal/coordinator"
+)
+
+func main() {
+	reads := flag.Int("reads", 4000, "number of simulated reads")
+	refLen := flag.Int("reflen", 200000, "synthetic reference length (bp)")
+	seed := flag.Int64("seed", 42, "random seed")
+	sus := flag.Int("sus", 128, "number of seeding units")
+	buffer := flag.Int("buffer", 1024, "hits buffer depth")
+	seeding := flag.String("seeding", "one-cycle", "seeding scheduler: one-cycle or batch")
+	alloc := flag.String("alloc", "grouped", "hits allocator: grouped, exclusive, shared, fifo")
+	pool := flag.String("pool", "derived", "EU pool: derived (Eq. 5 from workload), table1, uniform")
+	frontend := flag.String("frontend", "fm", "seeding front end: fm (BWA-MEM three-pass) or minimizer")
+	jsonOut := flag.Bool("json", false, "emit the full report as JSON instead of text")
+	flag.Parse()
+
+	ref := nvwa.GenerateReference(nvwa.HumanLikeProfile(), *refLen, *seed)
+	aligner := nvwa.NewAligner(ref)
+	rs := nvwa.SimulateReads(ref, *reads, nvwa.ShortReads(*seed+1))
+	seqs := nvwa.Sequences(rs)
+
+	opts := nvwa.NvWaOptions()
+	switch *pool {
+	case "derived":
+		var err error
+		opts, err = nvwa.DerivedOptions(aligner, sample(seqs, 500))
+		if err != nil {
+			fail(err)
+		}
+	case "table1":
+		// keep Table I classes
+	case "uniform":
+		opts.Config = opts.Config.UniformEUConfig(64)
+	default:
+		fail(fmt.Errorf("unknown pool %q", *pool))
+	}
+	opts.Config.NumSUs = *sus
+	opts.Config.HitsBufferDepth = *buffer
+	switch *seeding {
+	case "one-cycle":
+		opts.SeedStrategy = accel.OneCycle
+	case "batch":
+		opts.SeedStrategy = accel.ReadInBatch
+	default:
+		fail(fmt.Errorf("unknown seeding strategy %q", *seeding))
+	}
+	switch *alloc {
+	case "grouped":
+		opts.AllocStrategy = coordinator.Grouped
+	case "exclusive":
+		opts.AllocStrategy = coordinator.Exclusive
+	case "shared":
+		opts.AllocStrategy = coordinator.Shared
+	case "fifo":
+		opts.AllocStrategy = coordinator.FIFO
+	default:
+		fail(fmt.Errorf("unknown alloc strategy %q", *alloc))
+	}
+
+	switch *frontend {
+	case "fm":
+	case "minimizer":
+		ms, err := nvwa.NewMinimizerSeeder(aligner, 10, 15)
+		if err != nil {
+			fail(err)
+		}
+		opts.Seeder = ms
+	default:
+		fail(fmt.Errorf("unknown frontend %q", *frontend))
+	}
+
+	acc, err := nvwa.NewAccelerator(aligner, opts)
+	if err != nil {
+		fail(err)
+	}
+	rep := acc.Run(seqs)
+
+	if *jsonOut {
+		rep.Results = nil // per-read results dominate the payload; omit
+		rep.HitLens = nil
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	fmt.Printf("configuration: %s\n", rep.Description)
+	fmt.Printf("reads:         %d (%d hits, %d buffer switches)\n", rep.Reads, rep.TotalHits, rep.Switches)
+	fmt.Printf("makespan:      %d cycles\n", rep.Cycles)
+	fmt.Printf("throughput:    %.0f Kreads/s @ %g GHz\n", rep.ThroughputReadsPerSec/1000, opts.Config.ClockGHz)
+	fmt.Printf("SU util:       %.1f%%\n", 100*rep.SUUtil)
+	fmt.Printf("EU util:       %.1f%% (PE-level %.1f%%)\n", 100*rep.EUUtil, 100*rep.EUPEUtil)
+	fmt.Printf("optimal alloc: %.1f%%\n", 100*rep.AllocStats.OptimalFraction())
+	fmt.Printf("HBM:           %d accesses, %d row hits, %.2f GB, %.3f mJ\n",
+		rep.HBM.Accesses, rep.HBM.RowHits, float64(rep.HBM.Bytes)/1e9, rep.HBM.EnergyPJ/1e9)
+	aligned := 0
+	for _, r := range rep.Results {
+		if r.Found {
+			aligned++
+		}
+	}
+	fmt.Printf("aligned:       %d/%d reads\n", aligned, rep.Reads)
+	fmt.Printf("energy:        %.3g J (%.2f W avg, %.3g J/read)\n",
+		rep.Energy.TotalJ, rep.Energy.AvgPowerW, rep.Energy.PerReadJ)
+}
+
+func sample(seqs []nvwa.Sequence, n int) []nvwa.Sequence {
+	if len(seqs) < n {
+		return seqs
+	}
+	return seqs[:n]
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "nvwa-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// Quickstart: synthesise a reference, align reads in software, then
+// run the same workload through the simulated NvWa accelerator and
+// verify the results agree (the paper's no-loss-of-accuracy property).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nvwa"
+)
+
+func main() {
+	// 1. A 100 kbp human-like reference and 500 Illumina-like reads.
+	ref := nvwa.GenerateReference(nvwa.HumanLikeProfile(), 100000, 1)
+	reads := nvwa.SimulateReads(ref, 500, nvwa.ShortReads(2))
+	fmt.Printf("reference: %s, %d bp; reads: %d x %d bp\n",
+		ref.Name, len(ref.Seq), len(reads), len(reads[0].Seq))
+
+	// 2. Software alignment (the BWA-MEM-faithful pipeline).
+	aligner := nvwa.NewAligner(ref)
+	res := aligner.Align(0, reads[0].Seq)
+	fmt.Printf("read 0: aligned=%v strand-rev=%v ref=[%d,%d) score=%d (simulated from %d)\n",
+		res.Found, res.Rev, res.RefBeg, res.RefEnd, res.Score, reads[0].TruePos)
+
+	// 3. The NvWa accelerator, with its hybrid EU pool sized from this
+	// workload's hit-length distribution (Eq. 4-5 of the paper).
+	opts, err := nvwa.DerivedOptions(aligner, nvwa.Sequences(reads))
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := nvwa.NewAccelerator(aligner, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report := acc.Run(nvwa.Sequences(reads))
+	fmt.Printf("accelerator: %s\n", report.Description)
+	fmt.Printf("  %.0f Kreads/s, SU util %.1f%%, EU util %.1f%%\n",
+		report.ThroughputReadsPerSec/1000, 100*report.SUUtil, 100*report.EUUtil)
+
+	// 4. No loss of accuracy: hardware results equal software results.
+	mismatches := 0
+	for i, r := range reads {
+		sw := aligner.Align(i, r.Seq)
+		hw := report.Results[i]
+		if sw.Found != hw.Found || (sw.Found && sw.Score != hw.Score) {
+			mismatches++
+		}
+	}
+	fmt.Printf("accuracy check: %d/%d reads identical to software\n", len(reads)-mismatches, len(reads))
+}

@@ -1,0 +1,3 @@
+module nvwa
+
+go 1.22

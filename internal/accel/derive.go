@@ -1,0 +1,36 @@
+package accel
+
+import (
+	"nvwa/internal/core"
+	"nvwa/internal/extsched"
+	"nvwa/internal/pipeline"
+	"nvwa/internal/seq"
+)
+
+// DeriveEUClasses reproduces the paper's Sec. V-A methodology for
+// sizing the hybrid EU pool: profile the hit-length distribution of a
+// read sample through the software pipeline, bucket it into the
+// power-of-two intervals, and solve Eq. (4)-(5) for the unit counts
+// under the given PE budget (the paper uses NA12878 and 2880 PEs,
+// obtaining 28/20/16/6).
+func DeriveEUClasses(a *pipeline.Aligner, sample []seq.Seq, sizes []int, totalPEs int) ([]core.EUClass, error) {
+	lens := a.HitLengths(sample)
+	ladder := make([]core.EUClass, len(sizes))
+	for i, p := range sizes {
+		ladder[i] = core.EUClass{PEs: p, Count: 1}
+	}
+	dist := extsched.NewClassifier(ladder).Histogram(lens)
+	return extsched.SolveHybrid(dist, sizes, totalPEs)
+}
+
+// DerivedOptions returns NvWa options whose EU pool is sized from a
+// profiling sample of the actual workload, as the paper prescribes.
+func DerivedOptions(a *pipeline.Aligner, sample []seq.Seq) (Options, error) {
+	o := NvWaOptions()
+	classes, err := DeriveEUClasses(a, sample, extsched.PowerOfTwoSizes(4, 16), o.Config.TotalPEs())
+	if err != nil {
+		return o, err
+	}
+	o.Config.EUClasses = classes
+	return o, nil
+}

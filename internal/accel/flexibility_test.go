@@ -1,0 +1,70 @@
+package accel
+
+import (
+	"testing"
+
+	"nvwa/internal/pipeline"
+)
+
+func TestMinimizerFrontEndThroughUnifiedInterface(t *testing.T) {
+	// The paper's Sec. VI flexibility claim: any front end producing
+	// Table III hit records runs under the same schedulers. Swap the
+	// FM-index SUs for minimizer seed-and-chain SUs and verify the
+	// accelerator output equals the software equivalent of that front
+	// end.
+	a, reads := testWorkload(t, 150, 81)
+	ms, err := pipeline.NewMinimizerSeeder(a, 5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := smallOpts()
+	o.Seeder = ms
+	sys, err := New(a, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.Run(reads)
+	if rep.Reads != len(reads) {
+		t.Fatalf("processed %d reads", rep.Reads)
+	}
+	aligned := 0
+	for i, r := range reads {
+		hits, _ := ms.SeedAndChain(i, r)
+		want := a.Finish(r, hits)
+		got := rep.Results[i]
+		if got.Found != want.Found {
+			t.Fatalf("read %d: found %v, software front end %v", i, got.Found, want.Found)
+		}
+		if want.Found {
+			aligned++
+			if got.Score != want.Score {
+				t.Fatalf("read %d: score %d != %d", i, got.Score, want.Score)
+			}
+		}
+	}
+	// The minimizer front end must align the vast majority of reads.
+	if aligned < len(reads)*85/100 {
+		t.Errorf("minimizer front end aligned only %d/%d", aligned, len(reads))
+	}
+}
+
+func TestMinimizerFrontEndAccuracy(t *testing.T) {
+	// Against simulation ground truth: most reads land at their locus.
+	ref, recs := testWorkloadRecords(t, 120, 83)
+	a := ref
+	ms, err := pipeline.NewMinimizerSeeder(a, 5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, r := range recs {
+		hits, _ := ms.SeedAndChain(i, r.Seq)
+		res := a.Finish(r.Seq, hits)
+		if res.Found && abs(res.RefBeg-r.TruePos) <= 20 {
+			correct++
+		}
+	}
+	if correct < 95 {
+		t.Errorf("minimizer front end correct for only %d/120 reads", correct)
+	}
+}

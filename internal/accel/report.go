@@ -1,0 +1,110 @@
+package accel
+
+import (
+	"nvwa/internal/coordinator"
+	"nvwa/internal/energy"
+	"nvwa/internal/mem"
+	"nvwa/internal/pipeline"
+	"nvwa/internal/sim"
+)
+
+// Report is the outcome of one simulation run.
+type Report struct {
+	// Description summarises the simulated configuration.
+	Description string
+	// Reads is the number of reads aligned.
+	Reads int
+	// TotalHits is the number of extension tasks produced.
+	TotalHits int
+	// Cycles is the makespan in accelerator cycles.
+	Cycles int64
+	// ThroughputReadsPerSec converts the makespan to reads/second at
+	// the configured clock.
+	ThroughputReadsPerSec float64
+	// SUUtil and EUUtil are average unit utilizations over the run
+	// (the Fig. 12 headline numbers).
+	SUUtil, EUUtil float64
+	// SUSeries and EUSeries are utilization time series (Fig. 12
+	// curves).
+	SUSeries, EUSeries []float64
+	// AllocStats reports optimal-assignment quality (Fig. 12 e/f).
+	AllocStats coordinator.Stats
+	// HBM is the off-chip memory traffic.
+	HBM mem.Stats
+	// Results is the per-read alignment outcome, comparable 1:1 with
+	// the software pipeline's.
+	Results []pipeline.Result
+	// HitLens is every hit's extension length (Fig. 9a / 14b input).
+	HitLens []int
+	// Switches counts Coordinator buffer switches.
+	Switches int
+	// EUPEUtil is PE-level occupancy inside busy EUs, weighted by PEs.
+	EUPEUtil float64
+	// PerClassEUUtil is the average unit utilization of each EU class
+	// (indexed like Config.EUClasses), separating the small-array and
+	// large-array halves of the Fig. 12(c) story.
+	PerClassEUUtil []float64
+	// Energy is the Table II-based energy estimate for the run.
+	Energy energy.Estimate
+}
+
+func (s *System) report(end int64) *Report {
+	r := &Report{
+		Description: s.Describe(),
+		Reads:       len(s.reads),
+		TotalHits:   s.totalHits,
+		Cycles:      end,
+		Results:     s.results,
+		HitLens:     s.hitLens,
+		AllocStats:  s.alloc.Stats(),
+		HBM:         s.hbm.Stats(),
+		Switches:    s.buffer.Switches(),
+	}
+	if end > 0 {
+		hz := s.opts.Config.ClockGHz * 1e9
+		r.ThroughputReadsPerSec = float64(len(s.reads)) / (float64(end) / hz)
+	}
+	suT := make([]*sim.BusyTracker, len(s.sus))
+	for i, u := range s.sus {
+		suT[i] = &u.Tracker
+	}
+	euT := make([]*sim.BusyTracker, len(s.eus))
+	for i, u := range s.eus {
+		euT[i] = &u.Tracker
+	}
+	r.SUUtil = sim.GroupUtilization(suT, 0, end)
+	r.EUUtil = sim.GroupUtilization(euT, 0, end)
+	r.SUSeries = sim.GroupSeries(suT, end, s.opts.TraceBuckets)
+	r.EUSeries = sim.GroupSeries(euT, end, s.opts.TraceBuckets)
+
+	if est, err := energy.EstimateRun(energy.RunStats{
+		Cycles:      end,
+		ClockGHz:    s.opts.Config.ClockGHz,
+		Reads:       len(s.reads),
+		HBMEnergyPJ: r.HBM.EnergyPJ,
+		SUUtil:      r.SUUtil,
+		EUUtil:      r.EUUtil,
+	}); err == nil {
+		r.Energy = est
+	}
+
+	byClass := make(map[int][]*sim.BusyTracker)
+	for _, u := range s.eus {
+		byClass[u.Class()] = append(byClass[u.Class()], &u.Tracker)
+	}
+	r.PerClassEUUtil = make([]float64, len(s.opts.Config.EUClasses))
+	for ci := range r.PerClassEUUtil {
+		r.PerClassEUUtil[ci] = sim.GroupUtilization(byClass[ci], 0, end)
+	}
+
+	var peBusy, peTotal float64
+	for _, u := range s.eus {
+		w := float64(u.PEs())
+		peBusy += u.PEUtilization() * w * float64(u.Tasks())
+		peTotal += w * float64(u.Tasks())
+	}
+	if peTotal > 0 {
+		r.EUPEUtil = peBusy / peTotal
+	}
+	return r
+}

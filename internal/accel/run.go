@@ -1,0 +1,244 @@
+package accel
+
+import (
+	"nvwa/internal/coordinator"
+	"nvwa/internal/core"
+	"nvwa/internal/eu"
+	"nvwa/internal/pipeline"
+	"nvwa/internal/seq"
+	"nvwa/internal/su"
+)
+
+// Run simulates the accelerator over the read set and returns the
+// report. The event loop models exactly the paper's flow: SUs seed
+// reads and push hits into the Coordinator's Store Buffer (stalling
+// when it is full); buffer switches expose hits to allocation rounds;
+// the Allocate Trigger requests a round whenever enough EUs idle; each
+// round greedily assigns a window of hits to idle EUs, compacting
+// allocation failures back into the Processing Buffer.
+func (s *System) Run(reads []seq.Seq) *Report {
+	s.reads = reads
+	s.results = make([]pipeline.Result, len(reads))
+	s.bestHit = make([]int, len(reads))
+	for i := range s.bestHit {
+		s.bestHit[i] = -1
+	}
+
+	switch s.opts.SeedStrategy {
+	case OneCycle:
+		for _, u := range s.sus {
+			uu := u
+			s.eng.At(0, func() { s.startOneCycle(uu) })
+		}
+	case ReadInBatch:
+		s.eng.At(0, s.issueBatch)
+	}
+	s.eng.Run()
+
+	end := s.eng.Now()
+	for _, u := range s.sus {
+		u.SetIdle(end)
+	}
+	for _, u := range s.eus {
+		u.SetIdle(end)
+	}
+	return s.report(end)
+}
+
+// startOneCycle allocates the next read to an idle SU one cycle after
+// it frees (the One-Cycle Read Allocator's behaviour: every idle unit
+// is refilled in a single cycle).
+func (s *System) startOneCycle(u *su.Unit) {
+	now := s.eng.Now()
+	if s.nextRead >= len(s.reads) {
+		u.Stop()
+		return
+	}
+	idx := s.nextRead
+	s.nextRead++
+	ready := s.prefet.ReadyAt(now+1, idx)
+	u.SetBusy(now + 1)
+	s.eng.At(ready, func() {
+		hits, done := u.Process(s.eng.Now(), idx, s.reads[idx])
+		s.eng.At(done, func() { s.suDone(u, hits) })
+	})
+}
+
+// issueBatch implements Read-in-Batch: all SUs receive reads together,
+// and the next batch waits for the slowest unit.
+func (s *System) issueBatch() {
+	now := s.eng.Now()
+	if s.nextRead >= len(s.reads) {
+		for _, u := range s.sus {
+			u.Stop()
+		}
+		s.maybeSwitch()
+		return
+	}
+	n := len(s.sus)
+	if rem := len(s.reads) - s.nextRead; rem < n {
+		n = rem
+	}
+	s.idleSUs = len(s.sus) - n // units without work this batch stay idle
+	for i := 0; i < n; i++ {
+		u := s.sus[i]
+		idx := s.nextRead
+		s.nextRead++
+		ready := s.prefet.ReadyAt(now+1, idx)
+		u.SetBusy(now + 1)
+		s.eng.At(ready, func() {
+			hits, done := u.Process(s.eng.Now(), idx, s.reads[idx])
+			s.eng.At(done, func() { s.suDone(u, hits) })
+		})
+	}
+}
+
+// suDone records the unit's hits and pushes them to the Coordinator.
+func (s *System) suDone(u *su.Unit, hits []core.Hit) {
+	for _, h := range hits {
+		s.hitLens = append(s.hitLens, h.SchedLen())
+	}
+	s.totalHits += len(hits)
+	s.finishPush(u, hits)
+}
+
+// finishPush pushes hits into the Store Buffer, stalling the SU when
+// it fills (the paper's suspending state).
+func (s *System) finishPush(u *su.Unit, hits []core.Hit) {
+	now := s.eng.Now()
+	for len(hits) > 0 {
+		if !s.buffer.Push(hits[0]) {
+			u.SetIdle(now) // suspended: not doing useful seeding work
+			s.blocked = append(s.blocked, blockedSU{unit: u, hits: hits})
+			s.maybeSwitch()
+			return
+		}
+		hits = hits[1:]
+	}
+	s.maybeSwitch()
+	s.suIdle(u)
+}
+
+// suIdle returns a unit to the read-allocation path.
+func (s *System) suIdle(u *su.Unit) {
+	now := s.eng.Now()
+	u.SetIdle(now)
+	switch s.opts.SeedStrategy {
+	case OneCycle:
+		s.startOneCycle(u)
+	case ReadInBatch:
+		s.idleSUs++
+		if s.idleSUs == len(s.sus) {
+			s.eng.After(1, s.issueBatch)
+		}
+	}
+}
+
+// maybeSwitch performs a buffer switch when possible. Once the input
+// is exhausted the threshold is waived so the pipeline drains.
+func (s *System) maybeSwitch() {
+	force := s.nextRead >= len(s.reads)
+	if !s.buffer.TrySwitch(force) {
+		return
+	}
+	now := s.eng.Now()
+	// Space freed: resume suspended SUs.
+	blocked := s.blocked
+	s.blocked = nil
+	for _, b := range blocked {
+		bb := b
+		s.eng.At(now+1, func() { s.finishPush(bb.unit, bb.hits) })
+	}
+	s.eng.At(now+1, s.tryRound)
+}
+
+// idleEUs lists the currently idle extension units.
+func (s *System) idleEUs() []coordinator.IdleUnit {
+	var idle []coordinator.IdleUnit
+	for _, u := range s.eus {
+		if u.State() == core.Idle {
+			idle = append(idle, coordinator.IdleUnit{ID: u.ID(), Class: u.Class(), PEs: u.PEs()})
+		}
+	}
+	return idle
+}
+
+// tryRoundIfTriggered consults the Allocate Trigger (paper: request a
+// round when >= 15% of EUs idle); in drain mode any idle unit
+// justifies a round.
+func (s *System) tryRoundIfTriggered() {
+	idle := len(s.idleEUs())
+	drain := s.nextRead >= len(s.reads)
+	if s.trigger.ShouldSchedule(idle) || (drain && idle > 0) {
+		s.tryRound()
+	}
+}
+
+// tryRound executes one Hits Allocator round (Fig. 10).
+func (s *System) tryRound() {
+	if s.roundActive {
+		return
+	}
+	now := s.eng.Now()
+	if s.buffer.PBRemaining() == 0 {
+		s.maybeSwitch()
+		if s.buffer.PBRemaining() == 0 {
+			return
+		}
+	}
+	idle := s.idleEUs()
+	if len(idle) == 0 {
+		return
+	}
+	window := s.buffer.Window(s.opts.Config.AllocBatch)
+	assigned, un := s.alloc.Allocate(window, idle)
+	if len(assigned) == 0 {
+		return
+	}
+	allocHits := make([]core.Hit, len(assigned))
+	for i, a := range assigned {
+		allocHits[i] = a.Hit
+	}
+	s.buffer.Commit(allocHits, un)
+	s.roundActive = true
+	// Reserve the assigned units for the duration of the round.
+	for _, a := range assigned {
+		s.eus[a.Unit.ID].SetBusy(now)
+	}
+	s.eng.At(now+coordinator.RoundLatency(len(window)), func() {
+		s.roundActive = false
+		for _, a := range assigned {
+			s.dispatch(a)
+		}
+		s.tryRoundIfTriggered()
+	})
+}
+
+// dispatch starts one extension task on its assigned unit.
+func (s *System) dispatch(a coordinator.Assignment) {
+	now := s.eng.Now()
+	u := s.eus[a.Unit.ID]
+	oriented := pipeline.Orient(s.reads[a.Hit.ReadIdx], a.Hit.Rev)
+	ext, done := u.Execute(now, oriented, a.Hit)
+	s.eng.At(done, func() { s.euDone(u, ext) })
+}
+
+// euDone records the extension result and re-consults the trigger.
+// Score ties break toward the lowest hit index so the per-read result
+// is independent of EU completion order and identical to the software
+// pipeline's.
+func (s *System) euDone(u *eu.Unit, ext core.Extension) {
+	now := s.eng.Now()
+	u.SetIdle(now)
+	r := &s.results[ext.ReadIdx]
+	if !r.Found || ext.Score > r.Score || (ext.Score == r.Score && ext.HitIdx < s.bestHit[ext.ReadIdx]) {
+		r.Found = true
+		r.Score = ext.Score
+		r.RefBeg = ext.RefBeg
+		r.RefEnd = ext.RefEnd
+		r.Rev = ext.Rev
+		s.bestHit[ext.ReadIdx] = ext.HitIdx
+	}
+	r.Hits++
+	s.tryRoundIfTriggered()
+}

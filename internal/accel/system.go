@@ -1,0 +1,174 @@
+// Package accel assembles the full NvWa accelerator model: 128 seeding
+// units feeding a Coordinator hits buffer that dispatches to a hybrid
+// pool of 70 systolic extension units, orchestrated by the three
+// scheduling mechanisms of the paper (One-Cycle Read Allocator, Hybrid
+// Units Strategy, greedy Hits Allocator) on a cycle-accurate
+// discrete-event engine.
+//
+// Every mechanism can be independently replaced by its baseline
+// (Read-in-Batch, uniform EUs, FIFO dispatch), which is how the
+// paper's SUs+EUs comparison system and the Fig. 11 ablations are
+// built.
+package accel
+
+import (
+	"fmt"
+
+	"nvwa/internal/coordinator"
+	"nvwa/internal/core"
+	"nvwa/internal/eu"
+	"nvwa/internal/extsched"
+	"nvwa/internal/mem"
+	"nvwa/internal/pipeline"
+	"nvwa/internal/seedsched"
+	"nvwa/internal/seq"
+	"nvwa/internal/sim"
+	"nvwa/internal/su"
+)
+
+// SeedStrategy selects the seeding-phase scheduler.
+type SeedStrategy int
+
+const (
+	// OneCycle is NvWa's One-Cycle Read Allocator: every idle SU gets
+	// the next unprocessed read one cycle after finishing.
+	OneCycle SeedStrategy = iota
+	// ReadInBatch is the prior-work baseline: a new batch of reads is
+	// issued only after every SU has finished the current batch.
+	ReadInBatch
+)
+
+// String names the strategy.
+func (s SeedStrategy) String() string {
+	if s == OneCycle {
+		return "one-cycle"
+	}
+	return "read-in-batch"
+}
+
+// Options configures a system instance.
+type Options struct {
+	// Config is the hardware configuration (Table I).
+	Config core.Config
+	// SeedStrategy picks OCRA or the batch baseline.
+	SeedStrategy SeedStrategy
+	// AllocStrategy picks the Hits Allocator variant.
+	AllocStrategy coordinator.Strategy
+	// Seeder optionally replaces the SUs' seeding front end (default:
+	// the aligner's FM-index three-pass pipeline). The paper's unified
+	// interface hosts any front end producing hit records, e.g.
+	// pipeline.MinimizerSeeder.
+	Seeder su.Seeding
+	// SUCost and EUCost are the unit cycle models.
+	SUCost su.CostModel
+	// EUCost is the extension-unit fixed-cost model.
+	EUCost eu.CostModel
+	// TraceBuckets is the resolution of utilization time series.
+	TraceBuckets int
+}
+
+// NvWaOptions returns the full NvWa system (all three mechanisms on).
+func NvWaOptions() Options {
+	return Options{
+		Config:        core.DefaultConfig(),
+		SeedStrategy:  OneCycle,
+		AllocStrategy: coordinator.Grouped,
+		SUCost:        su.DefaultCostModel(),
+		EUCost:        eu.DefaultCostModel(),
+		TraceBuckets:  100,
+	}
+}
+
+// BaselineOptions returns the SUs+EUs comparison system: the same
+// computing units with Read-in-Batch seeding, a uniform 64-PE EU pool
+// of equal total PE budget, and FIFO hit dispatch.
+func BaselineOptions() Options {
+	o := NvWaOptions()
+	o.Config = o.Config.UniformEUConfig(64)
+	o.SeedStrategy = ReadInBatch
+	o.AllocStrategy = coordinator.FIFO
+	return o
+}
+
+// System is one simulated accelerator instance. Build a fresh System
+// per Run; it is not reusable.
+type System struct {
+	opts    Options
+	aligner *pipeline.Aligner
+	hbm     *mem.HBM
+	sus     []*su.Unit
+	eus     []*eu.Unit
+	buffer  *coordinator.HitsBuffer
+	alloc   *coordinator.Allocator
+	trigger *extsched.Trigger
+	prefet  *seedsched.ReadSPM
+	eng     sim.Engine
+
+	reads []seq.Seq
+
+	// runtime state
+	nextRead    int
+	idleSUs     int
+	blocked     []blockedSU
+	roundActive bool
+	results     []pipeline.Result
+	bestHit     []int // hit index of each read's current best, for tie-breaks
+	hitLens     []int
+	totalHits   int
+	stallCycles int64
+}
+
+type blockedSU struct {
+	unit *su.Unit
+	hits []core.Hit
+}
+
+// New builds a system over an existing aligner (which owns the index).
+func New(aligner *pipeline.Aligner, opts Options) (*System, error) {
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.TraceBuckets <= 0 {
+		opts.TraceBuckets = 100
+	}
+	s := &System{
+		opts:    opts,
+		aligner: aligner,
+		hbm:     mem.NewHBM(mem.HBM1()),
+		buffer:  coordinator.NewHitsBuffer(opts.Config.HitsBufferDepth, opts.Config.SwitchThreshold),
+		alloc:   newStatsAllocator(opts),
+		trigger: extsched.NewTrigger(opts.Config.TotalEUs(), opts.Config.IdleEUTrigger),
+	}
+	s.prefet = seedsched.NewReadSPM(s.hbm, 512, 64, 32)
+	var front su.Seeding = aligner
+	if opts.Seeder != nil {
+		front = opts.Seeder
+	}
+	for i := 0; i < opts.Config.NumSUs; i++ {
+		s.sus = append(s.sus, su.New(i, front, s.hbm, opts.SUCost))
+	}
+	id := 0
+	for ci, cl := range opts.Config.EUClasses {
+		for k := 0; k < cl.Count; k++ {
+			s.eus = append(s.eus, eu.New(id, ci, cl.PEs, aligner, opts.EUCost))
+			id++
+		}
+	}
+	return s, nil
+}
+
+// newStatsAllocator builds the pool's allocator with assignment
+// quality always judged against the canonical 16/32/64/128 ladder, so
+// uniform baselines report the paper's Fig. 12(f) metric comparably.
+func newStatsAllocator(opts Options) *coordinator.Allocator {
+	a := coordinator.NewAllocator(opts.Config.EUClasses, opts.AllocStrategy)
+	a.SetStatsSizes(extsched.PowerOfTwoSizes(4, 16))
+	return a
+}
+
+// Describe summarises the instance for logs.
+func (s *System) Describe() string {
+	return fmt.Sprintf("%d SUs, %d EUs (%d PEs), seed=%s, alloc=%s, buffer=%d",
+		len(s.sus), len(s.eus), s.opts.Config.TotalPEs(), s.opts.SeedStrategy,
+		s.opts.AllocStrategy, s.opts.Config.HitsBufferDepth)
+}

@@ -1,0 +1,68 @@
+package align
+
+// GACTExtend implements Darwin's GACT tiling [60]: an arbitrarily long
+// anchored extension computed with constant memory by aligning fixed
+// TxT tiles and re-anchoring after each tile, keeping an overlap
+// margin so the optimal path can re-route around tile boundaries.
+// This is how the paper's EUs process hits longer than the array and
+// how long reads are handled with constant hardware (Sec. II-C,
+// Sec. V-F). Unlike the full DP the result is near-optimal; the tests
+// quantify the gap.
+//
+// Per tile, the anchored extension finds the best in-tile cell; the
+// path is committed only up to an overlap margin before that cell (the
+// committed prefix is re-scored exactly by a truncated extension), and
+// the next tile starts from the committed anchor. The final tile
+// commits in full.
+//
+// It returns the accumulated score and the (ref, read) extent of the
+// committed alignment. tile must exceed 2*overlap and overlap must be
+// non-negative.
+func GACTExtend(ref, read []byte, sc Scoring, initScore, tile, overlap int) (score, refEnd, readEnd int) {
+	if tile <= 2*overlap || tile <= 0 || overlap < 0 {
+		panic("align: GACT tile must be positive and exceed twice the overlap")
+	}
+	score = initScore
+	ri, qi := 0, 0
+	for ri < len(ref) && qi < len(read) {
+		rt := ref[ri:minI(len(ref), ri+tile)]
+		qt := read[qi:minI(len(read), qi+tile)]
+		s, re, qe, _ := Extend(rt, qt, sc, 0, -1)
+		if s <= 0 || (re == 0 && qe == 0) {
+			break // the tile adds nothing: extension is over
+		}
+		lastTile := ri+len(rt) >= len(ref) && qi+len(qt) >= len(read)
+		cutR, cutQ := re-overlap, qe-overlap
+		if lastTile || cutR <= 0 || cutQ <= 0 {
+			// Commit the whole tile and stop: either we are at the end,
+			// or the tile's best lies inside the overlap margin and no
+			// further progress is possible.
+			score += s
+			refEnd = ri + re
+			readEnd = qi + qe
+			break
+		}
+		// Commit only the prefix up to the cut: re-score it exactly
+		// with a truncated extension.
+		sCut, reCut, qeCut, _ := Extend(rt[:cutR], qt[:cutQ], sc, 0, -1)
+		if sCut <= 0 || (reCut == 0 && qeCut == 0) {
+			// Nothing commits before the margin; take the full tile.
+			score += s
+			refEnd = ri + re
+			readEnd = qi + qe
+			break
+		}
+		score += sCut
+		ri += reCut
+		qi += qeCut
+		refEnd, readEnd = ri, qi
+	}
+	return score, refEnd, readEnd
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

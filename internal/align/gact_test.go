@@ -1,0 +1,134 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mutatedCopy(rng *rand.Rand, s []byte, subs, indels int) []byte {
+	out := append([]byte(nil), s...)
+	for i := 0; i < subs; i++ {
+		out[rng.Intn(len(out))] = byte(rng.Intn(4))
+	}
+	for i := 0; i < indels && len(out) > 10; i++ {
+		p := rng.Intn(len(out) - 2)
+		if rng.Intn(2) == 0 {
+			out = append(out[:p], out[p+1:]...) // deletion
+		} else {
+			out = append(out[:p], append([]byte{byte(rng.Intn(4))}, out[p:]...)...)
+		}
+	}
+	return out
+}
+
+func TestGACTExactOnCleanSequences(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sc := BWAMEM()
+	for trial := 0; trial < 20; trial++ {
+		ref := randomSeq(rng, 200+rng.Intn(400))
+		score, re, qe := GACTExtend(ref, ref, sc, 5, 64, 8)
+		if re != len(ref) || qe != len(ref) {
+			t.Fatalf("trial %d: clean extension stopped at (%d,%d) of %d", trial, re, qe, len(ref))
+		}
+		if score != 5+len(ref)*sc.Match {
+			t.Fatalf("trial %d: score %d, want %d", trial, score, 5+len(ref))
+		}
+	}
+}
+
+func TestGACTNearOptimalOnNoisySequences(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sc := BWAMEM()
+	for trial := 0; trial < 20; trial++ {
+		ref := randomSeq(rng, 400)
+		read := mutatedCopy(rng, ref, 8, 2)
+		optimal, _, _, _ := Extend(ref, read, sc, 0, -1)
+		got, re, qe := GACTExtend(ref, read, sc, 0, 96, 16)
+		if optimal <= 0 {
+			continue
+		}
+		// Darwin reports GACT is near-optimal with adequate overlap.
+		if float64(got) < 0.9*float64(optimal) {
+			t.Fatalf("trial %d: GACT %d far below optimal %d", trial, got, optimal)
+		}
+		if got > optimal {
+			t.Fatalf("trial %d: GACT %d exceeds optimal %d", trial, got, optimal)
+		}
+		if re > len(ref) || qe > len(read) {
+			t.Fatalf("trial %d: extents out of range", trial)
+		}
+	}
+}
+
+func TestGACTConstantMemoryLongInput(t *testing.T) {
+	// The point of tiling: a 20 kbp extension with 64-wide tiles never
+	// allocates a 20k x 20k matrix. Just verify it runs and scores
+	// proportionally to the length.
+	rng := rand.New(rand.NewSource(3))
+	sc := BWAMEM()
+	ref := randomSeq(rng, 20000)
+	read := mutatedCopy(rng, ref, 200, 20)
+	score, re, qe := GACTExtend(ref, read, sc, 0, 64, 8)
+	if score < 15000 {
+		t.Errorf("long GACT extension score %d, want ~%d", score, len(ref)-1400)
+	}
+	if re < 19000 || qe < 19000 {
+		t.Errorf("long GACT stopped early at (%d,%d)", re, qe)
+	}
+}
+
+func TestGACTStopsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sc := BWAMEM()
+	ref := randomSeq(rng, 500)
+	read := randomSeq(rng, 500)
+	score, re, qe := GACTExtend(ref, read, sc, 7, 64, 8)
+	// Unrelated sequences: extension commits at most one tile's worth.
+	if re > 128 || qe > 128 {
+		t.Errorf("garbage extension committed (%d,%d)", re, qe)
+	}
+	if score < 7 {
+		t.Errorf("score %d below anchor", score)
+	}
+}
+
+func TestGACTOverlapHelpsIndels(t *testing.T) {
+	// An indel right at a tile boundary: with overlap the path
+	// re-routes; without it the committed path can lose score.
+	rng := rand.New(rand.NewSource(5))
+	sc := Scoring{Match: 1, Mismatch: 4, GapOpen: 2, GapExtend: 1}
+	worse, total0, total16 := 0, 0, 0
+	for trial := 0; trial < 30; trial++ {
+		ref := randomSeq(rng, 300)
+		read := mutatedCopy(rng, ref, 4, 4)
+		s0, _, _ := GACTExtend(ref, read, sc, 0, 64, 0)
+		s16, _, _ := GACTExtend(ref, read, sc, 0, 64, 16)
+		total0 += s0
+		total16 += s16
+		if s16 < s0 {
+			worse++
+		}
+		// Both variants stay below the unbanded optimum.
+		opt, _, _, _ := Extend(ref, read, sc, 0, -1)
+		if s0 > opt || s16 > opt {
+			t.Fatalf("trial %d: GACT exceeded optimal (%d/%d vs %d)", trial, s0, s16, opt)
+		}
+	}
+	// The overlap margin must not hurt in aggregate (Darwin keeps it
+	// because it can only help the committed path re-route).
+	if total16 < total0 {
+		t.Errorf("overlap reduced aggregate score: %d vs %d", total16, total0)
+	}
+	if worse > 3 {
+		t.Errorf("overlap hurt %d/30 alignments", worse)
+	}
+}
+
+func TestGACTPanicsOnBadTile(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GACTExtend([]byte{0}, []byte{0}, BWAMEM(), 0, 16, 8)
+}

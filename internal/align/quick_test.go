@@ -1,0 +1,110 @@
+package align
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// toDNA maps arbitrary fuzz bytes into the 2-bit alphabet, keeping
+// inputs small enough for the quadratic kernels.
+func toDNA(raw []byte, cap int) []byte {
+	if len(raw) > cap {
+		raw = raw[:cap]
+	}
+	out := make([]byte, len(raw))
+	for i, b := range raw {
+		out[i] = b & 3
+	}
+	return out
+}
+
+func TestQuickLocalInvariants(t *testing.T) {
+	sc := BWAMEM()
+	f := func(rawA, rawB []byte) bool {
+		a := toDNA(rawA, 40)
+		b := toDNA(rawB, 40)
+		r := Local(a, b, sc)
+		// Non-negative, bounded, symmetric, and path-consistent.
+		if r.Score < 0 {
+			return false
+		}
+		lim := len(a)
+		if len(b) < lim {
+			lim = len(b)
+		}
+		if r.Score > lim*sc.Match {
+			return false
+		}
+		if Local(b, a, sc).Score != r.Score {
+			return false
+		}
+		if r.Score > 0 {
+			if got, err := ScoreCigar(a, b, r, sc); err != nil || got != r.Score {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBandedDominance(t *testing.T) {
+	sc := BWAMEM()
+	f := func(rawA, rawB []byte, bandRaw uint8) bool {
+		a := toDNA(rawA, 40)
+		b := toDNA(rawB, 40)
+		band := int(bandRaw % 16)
+		banded := LocalBanded(a, b, sc, band).Score
+		wider := LocalBanded(a, b, sc, band+8).Score
+		full := Local(a, b, sc).Score
+		// Widening the band never hurts, and never beats the full DP.
+		return banded <= wider && wider <= full
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickExtendInvariants(t *testing.T) {
+	sc := BWAMEM()
+	f := func(rawA, rawB []byte, initRaw, zRaw uint8) bool {
+		a := toDNA(rawA, 40)
+		b := toDNA(rawB, 40)
+		init := int(initRaw % 50)
+		z := int(zRaw % 120)
+		sFull, re, qe, rowsFull := Extend(a, b, sc, init, -1)
+		sZ, _, _, rowsZ := Extend(a, b, sc, init, z)
+		// Anchored score floor, z-drop never invents score, row counts
+		// bounded, ends within range.
+		if sFull < init || sZ < init || sZ > sFull {
+			return false
+		}
+		if rowsZ > rowsFull || rowsFull > len(a) {
+			return false
+		}
+		return re <= len(a) && qe <= len(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSpeculativeMatchesUnbanded(t *testing.T) {
+	sc := BWAMEM()
+	f := func(rawA, rawB []byte, b0Raw uint8) bool {
+		a := toDNA(rawA, 36)
+		b := toDNA(rawB, 36)
+		if len(a) == 0 || len(b) == 0 {
+			return true
+		}
+		b0 := 1 + int(b0Raw%12)
+		want, _, _, _ := Extend(a, b, sc, 10, -1)
+		got, _, _, _ := SpeculativeExtend(a, b, sc, 10, b0)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

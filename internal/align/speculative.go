@@ -1,0 +1,141 @@
+package align
+
+// SpeculativeExtend is the SeedEx-style speculate-and-test extension
+// kernel the paper discusses in Sec. IV-C: a seed-anchored extension
+// runs inside a narrow diagonal band first, and a safety test decides
+// whether the banded result is provably optimal; if not, the band
+// doubles and the extension re-runs. The returned values always equal
+// the unbanded Extend (zdrop disabled), and the returned band list
+// records every width tried — the "pressure of speculation-and-test"
+// that choosing the initial band by hit length relieves.
+//
+// The certificate is sound because the alignment is anchored at (0,0):
+// any path that reaches a cell outside the band first crosses a
+// band-edge cell whose in-band score the banded DP computed exactly,
+// then immediately spends a gap step. Its final score is therefore at
+// most
+//
+//	H(edge) + min(refRemaining, readRemaining)*Match - GapExtend,
+//
+// (only a gap extension is provably spent — the path may already be
+// inside a gap run when it crosses), and when the banded best already
+// meets the maximum of that bound over all edge cells, no out-of-band
+// path can win.
+func SpeculativeExtend(ref, read []byte, sc Scoring, initScore, initialBand int) (score, refEnd, readEnd int, bands []int) {
+	m, n := len(ref), len(read)
+	if m == 0 || n == 0 {
+		return initScore, 0, 0, nil
+	}
+	if initialBand < 1 {
+		initialBand = 1
+	}
+	full := m
+	if n > full {
+		full = n
+	}
+	for band := initialBand; ; band *= 2 {
+		if band >= full {
+			band = full // covers every cell: exact by construction
+		}
+		bands = append(bands, band)
+		s, re, qe, escape := extendBanded(ref, read, sc, initScore, band)
+		if band >= full || s >= escape {
+			return s, re, qe, bands
+		}
+	}
+}
+
+// extendBanded is Extend restricted to cells with |i-j| <= band. The
+// returned escape value bounds the score of any alignment that leaves
+// the band (see SpeculativeExtend); a result with score >= escape is
+// certified optimal.
+func extendBanded(ref, read []byte, sc Scoring, initScore, band int) (score, refEnd, readEnd, escape int) {
+	m, n := len(ref), len(read)
+	h := make([]int, n+1)
+	e := make([]int, n+1)
+	best, bi, bj := initScore, 0, 0
+	escape = negInf
+	gapOut := sc.GapExtend
+	noteEscape := func(hVal, i, j int) {
+		rem := m - i
+		if n-j < rem {
+			rem = n - j
+		}
+		if rem <= 0 {
+			return // cannot leave the band and come back to score
+		}
+		if v := hVal + rem*sc.Match - gapOut; v > escape {
+			escape = v
+		}
+	}
+
+	for j := 0; j <= n; j++ {
+		if j == 0 {
+			h[0] = initScore
+		} else if j <= band {
+			h[j] = initScore - sc.GapOpen - j*sc.GapExtend
+		} else {
+			h[j] = negInf / 2
+		}
+		e[j] = negInf
+	}
+	// Paths may exit upward through the row-0 boundary cell at j=band.
+	if band <= n {
+		noteEscape(h[band], 0, band)
+	}
+
+	for i := 1; i <= m; i++ {
+		lo, hi := i-band, i+band
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > n {
+			hi = n
+		}
+		if lo > n {
+			break
+		}
+		hDiagPrev := h[lo-1]
+		if lo == 1 {
+			if i <= band {
+				h[0] = initScore - sc.GapOpen - i*sc.GapExtend
+				if i == band {
+					// Exit through the column-0 boundary.
+					noteEscape(h[0], i, 0)
+				}
+			} else {
+				h[0] = negInf / 2
+			}
+			hDiagPrev = initScore - sc.GapOpen - (i-1)*sc.GapExtend
+			if i == 1 {
+				hDiagPrev = initScore
+			}
+		}
+		fRow := negInf
+		for j := lo; j <= hi; j++ {
+			eNew := max2(e[j]-sc.GapExtend, h[j]-sc.GapOpen-sc.GapExtend)
+			fRow = max2(fRow-sc.GapExtend, h[j-1]-sc.GapOpen-sc.GapExtend)
+			diag := hDiagPrev + sc.sub(ref[i-1], read[j-1])
+			hDiagPrev = h[j]
+			h[j] = max2(diag, max2(eNew, fRow))
+			e[j] = eNew
+			if h[j] > best {
+				best, bi, bj = h[j], i, j
+			}
+			if j == i-band || j == i+band {
+				noteEscape(h[j], i, j)
+			}
+		}
+		// Cells just outside the band must not leak stale values into
+		// the next row's reads.
+		if hi < n {
+			h[hi+1] = negInf / 2
+			e[hi+1] = negInf
+		}
+		if lo > 1 {
+			h[lo-1] = negInf / 2
+			e[lo-1] = negInf
+		}
+	}
+	return best, bi, bj, escape
+}

@@ -1,0 +1,66 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestExtendZDropTerminatesGarbageEarly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sc := BWAMEM()
+	ref := randomSeq(rng, 200)
+	read := randomSeq(rng, 200)
+	// Unrelated sequences: z-drop must stop long before the end.
+	_, _, _, rows := Extend(ref, read, sc, 30, 50)
+	if rows >= 100 {
+		t.Errorf("z-drop processed %d/200 rows on garbage", rows)
+	}
+	// Disabled z-drop processes everything.
+	_, _, _, all := Extend(ref, read, sc, 30, -1)
+	if all != 200 {
+		t.Errorf("zdrop=-1 processed %d/200 rows", all)
+	}
+}
+
+func TestExtendZDropPreservesGoodExtensions(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sc := BWAMEM()
+	for trial := 0; trial < 30; trial++ {
+		ref := randomSeq(rng, 80)
+		read := append([]byte(nil), ref...)
+		// A few scattered errors: the extension stays viable throughout.
+		for k := 0; k < 3; k++ {
+			read[rng.Intn(len(read))] = byte(rng.Intn(4))
+		}
+		sFull, rEndF, qEndF, _ := Extend(ref, read, sc, 10, -1)
+		sZ, rEndZ, qEndZ, rows := Extend(ref, read, sc, 10, 100)
+		if sZ != sFull || rEndZ != rEndF || qEndZ != qEndF {
+			t.Fatalf("trial %d: z-drop changed a good extension: (%d,%d,%d) vs (%d,%d,%d)",
+				trial, sZ, rEndZ, qEndZ, sFull, rEndF, qEndF)
+		}
+		if rows != len(ref) {
+			t.Fatalf("trial %d: good extension stopped early at row %d", trial, rows)
+		}
+	}
+}
+
+func TestExtendZDropScoreNeverImproved(t *testing.T) {
+	// Early termination can only miss score, never invent it.
+	rng := rand.New(rand.NewSource(3))
+	sc := BWAMEM()
+	for trial := 0; trial < 40; trial++ {
+		ref := randomSeq(rng, 60)
+		read := randomSeq(rng, 60)
+		if trial%2 == 0 {
+			copy(read, ref[:30])
+		}
+		sFull, _, _, _ := Extend(ref, read, sc, 20, -1)
+		sZ, _, _, rowsZ := Extend(ref, read, sc, 20, 30)
+		if sZ > sFull {
+			t.Fatalf("z-drop improved score: %d > %d", sZ, sFull)
+		}
+		if rowsZ > len(ref) {
+			t.Fatalf("rows %d out of range", rowsZ)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package automata implements Levenshtein automata, the approximate
+// string matching machinery GenAx's Silla accelerator [23] builds on:
+// the nondeterministic automaton accepting every string within edit
+// distance k of a pattern, determinised lazily into a DFA whose states
+// are bit-parallel NFA state sets. Streaming a text through the DFA
+// reports every end position matching within k edits — the automaton
+// counterpart of the Smith-Waterman extension units, usable on
+// arbitrary-length texts.
+package automata
+
+import "fmt"
+
+// MaxPattern bounds the pattern so an NFA level fits a machine word.
+const MaxPattern = 62
+
+// Levenshtein is a lazily-determinised Levenshtein automaton for one
+// pattern and edit bound.
+type Levenshtein struct {
+	pattern []byte
+	k       int
+	peq     [4]uint64
+	accept  uint64
+	// DFA cache: state signature -> state index; transitions resolved
+	// on demand.
+	states map[string]int
+	trans  [][4]int
+	sets   [][]uint64 // NFA levels per DFA state
+	start  int
+	// acceptDist[state] is the smallest edit level accepting in the
+	// state, or -1.
+	acceptDist []int
+}
+
+// NewLevenshtein builds the automaton for pattern within k edits.
+func NewLevenshtein(pattern []byte, k int) (*Levenshtein, error) {
+	m := len(pattern)
+	if m == 0 || m > MaxPattern {
+		return nil, fmt.Errorf("automata: pattern length %d out of [1,%d]", m, MaxPattern)
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("automata: negative edit bound")
+	}
+	if k >= m {
+		k = m - 1
+	}
+	a := &Levenshtein{
+		pattern: append([]byte(nil), pattern...),
+		k:       k,
+		accept:  1 << uint(m),
+		states:  map[string]int{},
+	}
+	for i, c := range pattern {
+		a.peq[c&3] |= 1 << uint(i)
+	}
+	// Start state: level d has positions 0..d reachable by d deletions
+	// of pattern prefix characters... for matching (free text start we
+	// handle by restarting), position i at level d means "consumed i
+	// pattern chars with d edits". Initially position d is reachable at
+	// level d (d deletions from the pattern).
+	init := make([]uint64, k+1)
+	for d := 0; d <= k; d++ {
+		init[d] = 1 << uint(d)
+	}
+	a.start = a.intern(init)
+	return a, nil
+}
+
+// K returns the effective edit bound.
+func (a *Levenshtein) K() int { return a.k }
+
+// States returns the number of DFA states materialised so far.
+func (a *Levenshtein) States() int { return len(a.sets) }
+
+// intern returns the DFA index of an NFA state-set, creating it if new.
+func (a *Levenshtein) intern(levels []uint64) int {
+	// Canonicalise: a position reachable at level d is also reachable
+	// at every level > d; keeping the closure makes signatures unique.
+	for d := 1; d < len(levels); d++ {
+		levels[d] |= levels[d-1] | levels[d-1]<<1
+	}
+	sig := make([]byte, 0, 8*len(levels))
+	for _, l := range levels {
+		for b := 0; b < 8; b++ {
+			sig = append(sig, byte(l>>uint(8*b)))
+		}
+	}
+	if idx, ok := a.states[string(sig)]; ok {
+		return idx
+	}
+	idx := len(a.sets)
+	a.states[string(sig)] = idx
+	a.sets = append(a.sets, append([]uint64(nil), levels...))
+	a.trans = append(a.trans, [4]int{-1, -1, -1, -1})
+	dist := -1
+	for d := 0; d <= a.k; d++ {
+		if levels[d]&a.accept != 0 {
+			dist = d
+			break
+		}
+	}
+	a.acceptDist = append(a.acceptDist, dist)
+	return idx
+}
+
+// step resolves (and caches) the DFA transition on base c.
+func (a *Levenshtein) step(state int, c byte) int {
+	c &= 3
+	if t := a.trans[state][c]; t >= 0 {
+		return t
+	}
+	cur := a.sets[state]
+	next := make([]uint64, a.k+1)
+	pm := a.peq[c]
+	// Level 0: exact match moves. Bit i means "i pattern characters
+	// consumed", so consuming text char c advances bit i to i+1 when
+	// pattern[i] == c: mask first, then shift.
+	next[0] = (cur[0] & pm) << 1
+	for d := 1; d <= a.k; d++ {
+		match := (cur[d] & pm) << 1
+		sub := cur[d-1] << 1  // substitute c for pattern char
+		ins := cur[d-1]       // insert c (pattern position unchanged)
+		del := next[d-1] << 1 // delete pattern char (epsilon, uses new set)
+		next[d] = match | sub | ins | del
+	}
+	t := a.intern(next)
+	a.trans[state][c] = t
+	return t
+}
+
+// Match is one accepted end position.
+type Match struct {
+	// End is one past the last text character of the match.
+	End int
+	// Dist is the smallest edit level accepting there.
+	Dist int
+}
+
+// FindAll streams text through the automaton, restarting the match
+// window at every position (semi-global search): it reports every end
+// position where some text suffix matches the pattern within k edits.
+func (a *Levenshtein) FindAll(text []byte) []Match {
+	var out []Match
+	// Maintain the union of automata started at every position: merge
+	// the start state into the current set each step. The DFA handles
+	// this by interning the merged NFA sets.
+	cur := a.start
+	for j := 0; j < len(text); j++ {
+		merged := make([]uint64, a.k+1)
+		copy(merged, a.sets[cur])
+		for d := 0; d <= a.k; d++ {
+			merged[d] |= a.sets[a.start][d]
+		}
+		cur = a.step(a.intern(merged), text[j])
+		if d := a.acceptDist[cur]; d >= 0 {
+			out = append(out, Match{End: j + 1, Dist: d})
+		}
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// semiGlobalOracle: min edit distance of pattern vs text substring
+// ending at each position.
+func semiGlobalOracle(text, pattern []byte) []int {
+	m := len(pattern)
+	col := make([]int, m+1)
+	next := make([]int, m+1)
+	for i := 0; i <= m; i++ {
+		col[i] = i
+	}
+	out := make([]int, len(text))
+	for j := 1; j <= len(text); j++ {
+		next[0] = 0
+		for i := 1; i <= m; i++ {
+			c := col[i-1]
+			if pattern[i-1] != text[j-1] {
+				c++
+			}
+			if v := col[i] + 1; v < c {
+				c = v
+			}
+			if v := next[i-1] + 1; v < c {
+				c = v
+			}
+			next[i] = c
+		}
+		col, next = next, col
+		out[j-1] = col[m]
+	}
+	return out
+}
+
+func randSeq(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte(rng.Intn(4))
+	}
+	return s
+}
+
+func TestFindAllMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		text := randSeq(rng, 40+rng.Intn(120))
+		l := 6 + rng.Intn(14)
+		off := rng.Intn(len(text) - l)
+		pattern := append([]byte(nil), text[off:off+l]...)
+		for e := 0; e < rng.Intn(3); e++ {
+			pattern[rng.Intn(l)] = byte(rng.Intn(4))
+		}
+		k := rng.Intn(3)
+		a, err := NewLevenshtein(pattern, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matches := a.FindAll(text)
+		oracle := semiGlobalOracle(text, pattern)
+		got := map[int]int{}
+		for _, m := range matches {
+			got[m.End] = m.Dist
+		}
+		for j, d := range oracle {
+			end := j + 1
+			if d <= a.K() {
+				gd, ok := got[end]
+				if !ok {
+					t.Fatalf("trial %d (k=%d): match at %d (dist %d) missed", trial, a.K(), end, d)
+				}
+				if gd != d {
+					t.Fatalf("trial %d: end %d dist %d, oracle %d", trial, end, gd, d)
+				}
+			} else if _, ok := got[end]; ok {
+				t.Fatalf("trial %d: spurious match at %d (oracle %d > k %d)", trial, end, d, a.K())
+			}
+		}
+	}
+}
+
+func TestExactAutomaton(t *testing.T) {
+	a, err := NewLevenshtein([]byte{1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := []byte{0, 1, 2, 3, 0, 1, 2, 3}
+	m := a.FindAll(text)
+	if len(m) != 2 || m[0].End != 4 || m[1].End != 8 || m[0].Dist != 0 {
+		t.Fatalf("exact matches = %v", m)
+	}
+}
+
+func TestDFAStateCountBounded(t *testing.T) {
+	// Lazy determinisation must not blow up: the classic result is
+	// O(m * ~constant^k) states; for small k the DFA stays small even
+	// on long texts.
+	rng := rand.New(rand.NewSource(2))
+	pattern := randSeq(rng, 20)
+	a, _ := NewLevenshtein(pattern, 2)
+	text := randSeq(rng, 20000)
+	a.FindAll(text)
+	if a.States() > 5000 {
+		t.Errorf("DFA grew to %d states", a.States())
+	}
+	if a.States() < 2 {
+		t.Error("DFA never grew")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewLevenshtein(nil, 1); err == nil {
+		t.Error("empty pattern accepted")
+	}
+	if _, err := NewLevenshtein(make([]byte, 63), 1); err == nil {
+		t.Error("oversized pattern accepted")
+	}
+	if _, err := NewLevenshtein([]byte{1}, -1); err == nil {
+		t.Error("negative k accepted")
+	}
+	// k >= m clamps.
+	a, err := NewLevenshtein([]byte{1, 2}, 5)
+	if err != nil || a.K() != 1 {
+		t.Errorf("clamp failed: %v k=%d", err, a.K())
+	}
+}
+
+func TestAgreesWithDPOnMutatedPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	text := randSeq(rng, 500)
+	for trial := 0; trial < 10; trial++ {
+		off := rng.Intn(450)
+		pattern := append([]byte(nil), text[off:off+25]...)
+		pattern[5] = (pattern[5] + 1) % 4
+		pattern[17] = (pattern[17] + 2) % 4
+		a, _ := NewLevenshtein(pattern, 2)
+		found := false
+		for _, m := range a.FindAll(text) {
+			if m.Dist <= 2 && m.End >= off+20 && m.End <= off+30 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("trial %d: 2-substitution pattern not found near %d", trial, off+25)
+		}
+	}
+}

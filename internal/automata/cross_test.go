@@ -1,0 +1,42 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+
+	"nvwa/internal/bitap"
+)
+
+func TestAutomatonAgreesWithBitap(t *testing.T) {
+	// The two approximate-matching substrates (GenASM's Wu-Manber
+	// bitap and GenAx's Levenshtein automaton) implement the same
+	// semantics and must report identical match sets.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		text := randSeq(rng, 60+rng.Intn(150))
+		l := 5 + rng.Intn(20)
+		off := rng.Intn(len(text) - l)
+		pattern := append([]byte(nil), text[off:off+l]...)
+		for e := 0; e < rng.Intn(4); e++ {
+			pattern[rng.Intn(l)] = byte(rng.Intn(4))
+		}
+		k := rng.Intn(3)
+		aut, err := NewLevenshtein(pattern, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bm, err := bitap.Search(text, pattern, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		am := aut.FindAll(text)
+		if len(am) != len(bm) {
+			t.Fatalf("trial %d (k=%d): automaton %d matches, bitap %d", trial, aut.K(), len(am), len(bm))
+		}
+		for i := range am {
+			if am[i].End != bm[i].End || am[i].Dist != bm[i].Dist {
+				t.Fatalf("trial %d: match %d differs: %+v vs %+v", trial, i, am[i], bm[i])
+			}
+		}
+	}
+}

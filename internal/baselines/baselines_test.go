@@ -1,0 +1,76 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlatformsConsistency(t *testing.T) {
+	ps := Platforms()
+	if len(ps) != 7 {
+		t.Fatalf("got %d platforms", len(ps))
+	}
+	var nvwa, cpu, genax, susEus *Platform
+	for i := range ps {
+		switch ps[i].Kind {
+		case "this work":
+			nvwa = &ps[i]
+		}
+		switch {
+		case ps[i].Name == "BWA-MEM (16-thread CPU)":
+			cpu = &ps[i]
+		case ps[i].Name == "GenAx (ASIC)":
+			genax = &ps[i]
+		case ps[i].Name == "SUs+EUs (no scheduling)":
+			susEus = &ps[i]
+		}
+	}
+	if nvwa == nil || cpu == nil || genax == nil || susEus == nil {
+		t.Fatal("missing platforms")
+	}
+	if nvwa.ThroughputKReads != NvWaReportedKReads {
+		t.Error("NvWa throughput mismatch")
+	}
+	// Speedup ratios must be self-consistent.
+	if r := nvwa.ThroughputKReads / cpu.ThroughputKReads; math.Abs(r-493) > 0.5 {
+		t.Errorf("CPU speedup = %v", r)
+	}
+	// SUs+EUs is 88.79% of GenAx (Sec. V-C).
+	if r := susEus.ThroughputKReads / genax.ThroughputKReads; math.Abs(r-0.8879) > 1e-6 {
+		t.Errorf("SUs+EUs/GenAx = %v", r)
+	}
+	// The paper's cross-check: SUs+EUs is also ~16.93% of GenCache.
+	var gencache *Platform
+	for i := range ps {
+		if ps[i].Name == "GenCache (PIM)" {
+			gencache = &ps[i]
+		}
+	}
+	if r := susEus.ThroughputKReads / gencache.ThroughputKReads; math.Abs(r-0.1693) > 0.002 {
+		t.Errorf("SUs+EUs/GenCache = %v, want ~0.1693", r)
+	}
+}
+
+func TestAblationSpeedupsComposeToTotal(t *testing.T) {
+	// The paper's three per-mechanism speedups multiply to roughly the
+	// total improvement over SUs+EUs (12.11/0.8879 = 13.64).
+	ab := AblationSpeedups()
+	product := 1.0
+	for _, v := range ab {
+		product *= v
+	}
+	total := 12.11 / 0.8879
+	if math.Abs(product-total)/total > 0.02 {
+		t.Errorf("ablation product %.3f vs total %.3f", product, total)
+	}
+}
+
+func TestThroughputPerWatt(t *testing.T) {
+	tw := ThroughputPerWatt()
+	if tw["GenAx"] != 52.62 || tw["GenCache"] != 13.50 {
+		t.Error("throughput/W constants wrong")
+	}
+	if ComparisonPowerW >= 5.754 {
+		t.Error("comparison power must exclude the SPM/SRAM components")
+	}
+}

@@ -1,0 +1,136 @@
+// Package bitap implements the bit-parallel approximate string
+// matching algorithms the paper's related-work accelerators build on:
+// the Wu-Manber extension of Bitap (the algorithm behind GenASM [16])
+// and Myers' bit-vector edit-distance scan. They are the
+// novel-matching-algorithm counterpart to the dynamic-programming
+// extension units, provided so the EU substrate can be compared
+// against the Bitap family on identical inputs.
+package bitap
+
+import "fmt"
+
+// MaxPattern is the longest supported pattern (one machine word of
+// bit-parallel state, as in the hardware designs).
+const MaxPattern = 64
+
+// Match is one approximate occurrence: the pattern matches the text
+// ending at position End (exclusive) with edit distance Dist.
+type Match struct {
+	// End is the text index one past the match's last character.
+	End int
+	// Dist is the Levenshtein distance of the match.
+	Dist int
+}
+
+// Search runs Wu-Manber Bitap: it reports every text position where
+// the pattern matches with at most k edits (insertions, deletions,
+// substitutions). Patterns longer than MaxPattern are rejected.
+func Search(text, pattern []byte, k int) ([]Match, error) {
+	m := len(pattern)
+	if m == 0 {
+		return nil, fmt.Errorf("bitap: empty pattern")
+	}
+	if m > MaxPattern {
+		return nil, fmt.Errorf("bitap: pattern length %d exceeds %d", m, MaxPattern)
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("bitap: negative edit bound")
+	}
+	if k >= m {
+		k = m - 1 // a match always exists beyond that, not useful
+	}
+
+	// peq[c] has bit i set when pattern[i] == c.
+	var peq [4]uint64
+	for i, c := range pattern {
+		peq[c&3] |= 1 << uint(i)
+	}
+	accept := uint64(1) << uint(m-1)
+
+	// r[d] is the state for edit level d: bit i set means a suffix of
+	// the processed text matches pattern[0..i] with <= d edits.
+	r := make([]uint64, k+1)
+	for d := 1; d <= k; d++ {
+		// Before any text, d deletions cover the first d pattern chars.
+		r[d] = (1 << uint(d)) - 1
+	}
+	old := make([]uint64, k+1)
+
+	var out []Match
+	for j := 0; j < len(text); j++ {
+		copy(old, r)
+		pm := peq[text[j]&3]
+		r[0] = ((old[0] << 1) | 1) & pm
+		for d := 1; d <= k; d++ {
+			sub := (old[d-1] << 1) | 1 // substitution
+			ins := old[d-1]            // insertion into the pattern (consume text char)
+			del := (r[d-1] << 1) | 1   // deletion from the text (advance pattern only)
+			r[d] = (((old[d] << 1) | 1) & pm) | sub | ins | del
+		}
+		for d := 0; d <= k; d++ {
+			if r[d]&accept != 0 {
+				out = append(out, Match{End: j + 1, Dist: d})
+				break // smallest d for this end position
+			}
+		}
+	}
+	return out, nil
+}
+
+// MyersDistances runs Myers' 1999 bit-vector algorithm: it returns,
+// for every text position j, the minimum edit distance between the
+// whole pattern and any text substring ending at j+1 (the semi-global
+// score column of the DP). Pattern length is limited to MaxPattern.
+func MyersDistances(text, pattern []byte) ([]int, error) {
+	m := len(pattern)
+	if m == 0 || m > MaxPattern {
+		return nil, fmt.Errorf("bitap: pattern length %d out of range [1,%d]", m, MaxPattern)
+	}
+	var peq [4]uint64
+	for i, c := range pattern {
+		peq[c&3] |= 1 << uint(i)
+	}
+	pv := ^uint64(0)
+	mv := uint64(0)
+	score := m
+	hiBit := uint64(1) << uint(m-1)
+
+	out := make([]int, len(text))
+	for j := 0; j < len(text); j++ {
+		eq := peq[text[j]&3]
+		xv := eq | mv
+		xh := (((eq & pv) + pv) ^ pv) | eq
+		ph := mv | ^(xh | pv)
+		mh := pv & xh
+		if ph&hiBit != 0 {
+			score++
+		}
+		if mh&hiBit != 0 {
+			score--
+		}
+		// Semi-global search: the text may start anywhere, so no
+		// boundary carry enters the shifted horizontal vectors.
+		ph <<= 1
+		mh <<= 1
+		pv = mh | ^(xv | ph)
+		mv = ph & xv
+		out[j] = score
+	}
+	return out, nil
+}
+
+// BestMatch returns the lowest-distance end position of pattern in
+// text (ties resolve to the leftmost), using Myers' scan.
+func BestMatch(text, pattern []byte) (Match, error) {
+	ds, err := MyersDistances(text, pattern)
+	if err != nil {
+		return Match{}, err
+	}
+	best := Match{End: 0, Dist: len(pattern) + len(text)}
+	for j, d := range ds {
+		if d < best.Dist {
+			best = Match{End: j + 1, Dist: d}
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,180 @@
+package bitap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// editDistance is the textbook DP oracle.
+func editDistance(a, b []byte) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			c := prev[j-1]
+			if a[i-1] != b[j-1] {
+				c++
+			}
+			if v := prev[j] + 1; v < c {
+				c = v
+			}
+			if v := cur[j-1] + 1; v < c {
+				c = v
+			}
+			cur[j] = c
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// semiGlobalOracle computes min edit distance of pattern vs any text
+// substring ending at each position (DP with free start in text).
+func semiGlobalOracle(text, pattern []byte) []int {
+	m := len(pattern)
+	col := make([]int, m+1)
+	next := make([]int, m+1)
+	for i := 0; i <= m; i++ {
+		col[i] = i
+	}
+	out := make([]int, len(text))
+	for j := 1; j <= len(text); j++ {
+		next[0] = 0 // free start anywhere in the text
+		for i := 1; i <= m; i++ {
+			c := col[i-1]
+			if pattern[i-1] != text[j-1] {
+				c++
+			}
+			if v := col[i] + 1; v < c {
+				c = v
+			}
+			if v := next[i-1] + 1; v < c {
+				c = v
+			}
+			next[i] = c
+		}
+		col, next = next, col
+		out[j-1] = col[m]
+	}
+	return out
+}
+
+func randSeq(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte(rng.Intn(4))
+	}
+	return s
+}
+
+func TestMyersMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		text := randSeq(rng, 50+rng.Intn(150))
+		pattern := randSeq(rng, 1+rng.Intn(63))
+		if trial%2 == 0 {
+			off := rng.Intn(len(text) - 20)
+			l := 10 + rng.Intn(20)
+			pattern = append([]byte(nil), text[off:off+l]...)
+			pattern[rng.Intn(l)] = byte(rng.Intn(4))
+		}
+		got, err := MyersDistances(text, pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := semiGlobalOracle(text, pattern)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("trial %d: distance at %d = %d, oracle %d (m=%d)", trial, j, got[j], want[j], len(pattern))
+			}
+		}
+	}
+}
+
+func TestSearchAgreesWithOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		text := randSeq(rng, 40+rng.Intn(100))
+		l := 8 + rng.Intn(16)
+		off := rng.Intn(len(text) - l)
+		pattern := append([]byte(nil), text[off:off+l]...)
+		for e := 0; e < rng.Intn(3); e++ {
+			pattern[rng.Intn(l)] = byte(rng.Intn(4))
+		}
+		k := rng.Intn(4)
+		matches, err := Search(text, pattern, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := semiGlobalOracle(text, pattern)
+		seen := map[int]int{}
+		for _, m := range matches {
+			seen[m.End] = m.Dist
+		}
+		for j, d := range oracle {
+			end := j + 1
+			if d <= k {
+				got, ok := seen[end]
+				if !ok {
+					t.Fatalf("trial %d: oracle match at %d (dist %d <= k=%d) missed", trial, end, d, k)
+				}
+				if got != d {
+					t.Fatalf("trial %d: end %d dist %d, oracle %d", trial, end, got, d)
+				}
+			} else if _, ok := seen[end]; ok {
+				t.Fatalf("trial %d: spurious match at %d (oracle dist %d > k=%d)", trial, end, d, k)
+			}
+		}
+	}
+}
+
+func TestSearchExact(t *testing.T) {
+	text := []byte{0, 1, 2, 3, 0, 1, 2, 3}
+	matches, err := Search(text, []byte{1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 2 || matches[0].End != 4 || matches[1].End != 8 {
+		t.Fatalf("exact matches = %v", matches)
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	if _, err := Search([]byte{0}, nil, 1); err == nil {
+		t.Error("empty pattern accepted")
+	}
+	if _, err := Search([]byte{0}, make([]byte, 65), 1); err == nil {
+		t.Error("oversized pattern accepted")
+	}
+	if _, err := Search([]byte{0}, []byte{1}, -1); err == nil {
+		t.Error("negative k accepted")
+	}
+	if _, err := MyersDistances([]byte{0}, nil); err == nil {
+		t.Error("Myers empty pattern accepted")
+	}
+}
+
+func TestBestMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	text := randSeq(rng, 300)
+	pattern := append([]byte(nil), text[100:140]...)
+	pattern[5] = (pattern[5] + 1) % 4 // one substitution
+	m, err := BestMatch(text, pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dist > 1 {
+		t.Errorf("best distance %d, want <= 1", m.Dist)
+	}
+	if m.End < 130 || m.End > 150 {
+		t.Errorf("best end %d, want ~140", m.End)
+	}
+	// Cross-check against full edit distance of the matched suffix.
+	if d := editDistance(pattern, text[m.End-len(pattern):m.End]); d < m.Dist {
+		t.Errorf("reported dist %d worse than alignment-free check %d", m.Dist, d)
+	}
+}

@@ -1,0 +1,267 @@
+package coordinator
+
+import (
+	"sort"
+
+	"nvwa/internal/core"
+	"nvwa/internal/extsched"
+)
+
+// IdleUnit describes one idle extension unit offered to an allocation
+// round.
+type IdleUnit struct {
+	// ID is the unit's global index in the EU pool.
+	ID int
+	// Class is the unit's class index (into the pool's EUClasses).
+	Class int
+	// PEs is the unit's systolic-array width.
+	PEs int
+}
+
+// Assignment pairs a hit with the unit that will extend it.
+type Assignment struct {
+	Hit  core.Hit
+	Unit IdleUnit
+}
+
+// Strategy selects how hits are matched to idle units.
+type Strategy int
+
+const (
+	// Grouped is NvWa's strategy (Fig. 10 steps 4-6): hits and units
+	// are split into a small-class and a large-class group at the
+	// pool's midpoint; within a group a hit takes its optimal class if
+	// available, else the nearest idle class of the same group.
+	Grouped Strategy = iota
+	// Exclusive is the paper's basic method (1): a hit may only run on
+	// its optimal class; other groups never help out.
+	Exclusive
+	// Shared is the paper's basic method (2): all units form one pool;
+	// a hit takes any idle unit, preferring the optimal class but
+	// falling back to anything (short hits may land on 128-PE units).
+	Shared
+	// FIFO is the unscheduled SUs+EUs baseline: hits are not sorted or
+	// classified; each takes the first idle unit in ID order.
+	FIFO
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Grouped:
+		return "grouped"
+	case Exclusive:
+		return "exclusive"
+	case Shared:
+		return "shared"
+	case FIFO:
+		return "fifo"
+	default:
+		return "unknown"
+	}
+}
+
+// Allocator is the Hits Allocator of Fig. 10.
+type Allocator struct {
+	classifier *extsched.Classifier
+	classes    []core.EUClass
+	strategy   Strategy
+	splitClass int // first class of the "large" group
+	// stats — measured against a canonical size ladder so a uniform
+	// pool's misassignments are visible (Fig. 12(f) reports the
+	// baseline at 14.5% even though it has a single class)
+	statsSizes           []int
+	optimal, nearOptimal int
+	perClassOpt          []int
+	perClassTotal        []int
+}
+
+// NewAllocator builds an allocator over the EU pool's classes.
+func NewAllocator(classes []core.EUClass, strategy Strategy) *Allocator {
+	sizes := make([]int, len(classes))
+	for i, c := range classes {
+		sizes[i] = c.PEs
+	}
+	return &Allocator{
+		classifier:    extsched.NewClassifier(classes),
+		classes:       classes,
+		strategy:      strategy,
+		splitClass:    (len(classes) + 1) / 2,
+		statsSizes:    sizes,
+		perClassOpt:   make([]int, len(classes)),
+		perClassTotal: make([]int, len(classes)),
+	}
+}
+
+// SetStatsSizes measures assignment quality against a canonical PE
+// ladder (e.g. 16/32/64/128) instead of the pool's own classes, so
+// heterogeneous and uniform pools are judged on the same scale.
+func (a *Allocator) SetStatsSizes(sizes []int) {
+	a.statsSizes = append([]int(nil), sizes...)
+	a.perClassOpt = make([]int, len(sizes))
+	a.perClassTotal = make([]int, len(sizes))
+}
+
+// statsClass returns the canonical class of a hit length.
+func (a *Allocator) statsClass(hitLen int) int {
+	for i, p := range a.statsSizes {
+		if hitLen <= p {
+			return i
+		}
+	}
+	return len(a.statsSizes) - 1
+}
+
+// RoundLatency returns the cycle cost of one allocation round over a
+// window of n hits: the nine Fig. 10 steps are pipelined, so the cost
+// is a fixed pipeline depth plus one cycle per hit.
+func RoundLatency(n int) int64 { return 9 + int64(n) }
+
+// group returns the unit group of a class under the Grouped strategy.
+func (a *Allocator) group(class int) int {
+	if class < a.splitClass {
+		return 0
+	}
+	return 1
+}
+
+// Allocate performs steps 2-6 of Fig. 10 on the window: compute each
+// hit's extension length, sort by it, split into groups, and greedily
+// match against the idle units. It returns the assignments and the
+// hits left unallocated (in their post-sort order, ready for Commit).
+func (a *Allocator) Allocate(window []core.Hit, idle []IdleUnit) (assigned []Assignment, unallocated []core.Hit) {
+	if len(window) == 0 {
+		return nil, nil
+	}
+	// Step 2-3: compute hit_len and sort ascending by it.
+	hits := append([]core.Hit(nil), window...)
+	if a.strategy != FIFO {
+		sort.SliceStable(hits, func(i, j int) bool { return hits[i].SchedLen() < hits[j].SchedLen() })
+	}
+
+	// Index idle units by class, smallest unit IDs first for
+	// determinism.
+	byClass := make([][]IdleUnit, len(a.classes))
+	for _, u := range idle {
+		if u.Class >= 0 && u.Class < len(byClass) {
+			byClass[u.Class] = append(byClass[u.Class], u)
+		}
+	}
+	for c := range byClass {
+		sort.Slice(byClass[c], func(i, j int) bool { return byClass[c][i].ID < byClass[c][j].ID })
+	}
+	take := func(c int) (IdleUnit, bool) {
+		if len(byClass[c]) == 0 {
+			return IdleUnit{}, false
+		}
+		u := byClass[c][0]
+		byClass[c] = byClass[c][1:]
+		return u, true
+	}
+
+	for _, h := range hits {
+		opt := a.classifier.OptimalClass(h.SchedLen())
+		var unit IdleUnit
+		ok := false
+		switch a.strategy {
+		case FIFO:
+			// Any idle unit, ID order.
+			bestClass, bestID := -1, 0
+			for c := range byClass {
+				if len(byClass[c]) > 0 && (bestClass == -1 || byClass[c][0].ID < bestID) {
+					bestClass, bestID = c, byClass[c][0].ID
+				}
+			}
+			if bestClass >= 0 {
+				unit, ok = take(bestClass)
+			}
+		case Exclusive:
+			unit, ok = take(opt)
+		case Shared:
+			unit, ok = a.takeNearest(byClass, take, opt, 0, len(a.classes))
+		case Grouped:
+			lo, hi := 0, a.splitClass
+			if a.group(opt) == 1 {
+				lo, hi = a.splitClass, len(a.classes)
+			}
+			unit, ok = a.takeNearest(byClass, take, opt, lo, hi)
+			if !ok {
+				// The home group is exhausted: supplement from the
+				// adjacent group (paper Sec. IV-D — "adjacent resources
+				// can be supplemented to ensure scheduling efficiency
+				// when some specific resources are limited"). The sort
+				// in step 3 already gave same-group hits first pick, so
+				// this disciplined spill differs from the "too
+				// aggressive" fully-shared method (2).
+				unit, ok = a.takeNearest(byClass, take, opt, 0, len(a.classes))
+			}
+		}
+		if !ok {
+			unallocated = append(unallocated, h)
+			continue
+		}
+		assigned = append(assigned, Assignment{Hit: h, Unit: unit})
+		sc := a.statsClass(h.SchedLen())
+		a.perClassTotal[sc]++
+		if unit.PEs == a.statsSizes[sc] {
+			a.optimal++
+			a.perClassOpt[sc]++
+		} else {
+			a.nearOptimal++
+		}
+	}
+	return assigned, unallocated
+}
+
+// takeNearest takes an idle unit for optimal class opt searching
+// classes [lo, hi), preferring opt, then increasing distance with the
+// larger class first (a short hit on a bigger unit costs less extra
+// latency than a long hit on a smaller unit, Fig. 8 observation 3).
+func (a *Allocator) takeNearest(byClass [][]IdleUnit, take func(int) (IdleUnit, bool), opt, lo, hi int) (IdleUnit, bool) {
+	if opt >= lo && opt < hi {
+		if u, ok := take(opt); ok {
+			return u, true
+		}
+	}
+	for d := 1; d < hi-lo; d++ {
+		if c := opt + d; c >= lo && c < hi {
+			if u, ok := take(c); ok {
+				return u, true
+			}
+		}
+		if c := opt - d; c >= lo && c < hi {
+			if u, ok := take(c); ok {
+				return u, true
+			}
+		}
+	}
+	return IdleUnit{}, false
+}
+
+// Stats reports allocation quality: how many hits landed on their
+// optimal class (overall and per class), the Fig. 12(e)/(f) metric.
+type Stats struct {
+	Optimal, NearOptimal int
+	PerClassOptimal      []int
+	PerClassTotal        []int
+}
+
+// Stats returns a copy of the allocator's counters.
+func (a *Allocator) Stats() Stats {
+	return Stats{
+		Optimal:         a.optimal,
+		NearOptimal:     a.nearOptimal,
+		PerClassOptimal: append([]int(nil), a.perClassOpt...),
+		PerClassTotal:   append([]int(nil), a.perClassTotal...),
+	}
+}
+
+// OptimalFraction returns the fraction of assignments that used the
+// optimal unit class.
+func (s Stats) OptimalFraction() float64 {
+	n := s.Optimal + s.NearOptimal
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Optimal) / float64(n)
+}

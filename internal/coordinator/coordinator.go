@@ -1,0 +1,109 @@
+// Package coordinator implements NvWa's Coordinator (paper Sec. IV-D):
+// the double-buffered Hits Buffer (Store Buffer + Processing Buffer)
+// that decouples SUs from EUs, the fragmentation-avoiding write-back
+// of allocation-failed hits, and the 9-step low-latency greedy Hits
+// Allocator that dispatches each hit to its optimal or near-optimal
+// extension unit.
+package coordinator
+
+import (
+	"fmt"
+
+	"nvwa/internal/core"
+)
+
+// HitsBuffer is the Coordinator's double buffer. SUs push into the
+// Store Buffer (SB); allocation rounds consume the Processing Buffer
+// (PB) through a moving offset; when the SB fill reaches the switch
+// threshold and the PB is drained, the buffers swap.
+type HitsBuffer struct {
+	depth     int
+	threshold float64
+	sb        []core.Hit
+	pb        []core.Hit
+	offset    int
+	switches  int
+}
+
+// NewHitsBuffer builds a buffer of the given per-side depth and switch
+// threshold (paper: depth 1024, threshold 0.75).
+func NewHitsBuffer(depth int, threshold float64) *HitsBuffer {
+	if depth <= 0 {
+		panic("coordinator: buffer depth must be positive")
+	}
+	if threshold <= 0 || threshold > 1 {
+		panic("coordinator: switch threshold out of (0,1]")
+	}
+	return &HitsBuffer{depth: depth, threshold: threshold}
+}
+
+// Depth returns the per-side capacity in hits.
+func (b *HitsBuffer) Depth() int { return b.depth }
+
+// Push stores a hit into the SB. It returns false when the SB is full,
+// in which case the producing SU must stall (the paper's "blocking"
+// state).
+func (b *HitsBuffer) Push(h core.Hit) bool {
+	if len(b.sb) >= b.depth {
+		return false
+	}
+	b.sb = append(b.sb, h)
+	return true
+}
+
+// SBLen returns the Store Buffer occupancy.
+func (b *HitsBuffer) SBLen() int { return len(b.sb) }
+
+// PBRemaining returns the number of unallocated hits in the PB.
+func (b *HitsBuffer) PBRemaining() int { return len(b.pb) - b.offset }
+
+// Switches returns how many buffer switches have occurred.
+func (b *HitsBuffer) Switches() int { return b.switches }
+
+// CanSwitch reports whether the switch condition holds: the SB has
+// reached the threshold and the PB is drained.
+func (b *HitsBuffer) CanSwitch() bool {
+	return b.PBRemaining() == 0 && float64(len(b.sb)) >= b.threshold*float64(b.depth)
+}
+
+// TrySwitch swaps the buffers when CanSwitch; force additionally
+// allows a switch with any nonempty SB (used to drain the pipeline at
+// end of input). It reports whether a switch happened.
+func (b *HitsBuffer) TrySwitch(force bool) bool {
+	if b.PBRemaining() != 0 || len(b.sb) == 0 {
+		return false
+	}
+	if !force && float64(len(b.sb)) < b.threshold*float64(b.depth) {
+		return false
+	}
+	b.pb = b.pb[:0]
+	b.pb = append(b.pb, b.sb...)
+	b.sb = b.sb[:0]
+	b.offset = 0
+	b.switches++
+	return true
+}
+
+// Window returns the current allocation window: up to batch
+// unallocated hits starting at the PB offset (step 1 of Fig. 10).
+func (b *HitsBuffer) Window(batch int) []core.Hit {
+	end := b.offset + batch
+	if end > len(b.pb) {
+		end = len(b.pb)
+	}
+	return b.pb[b.offset:end]
+}
+
+// Commit applies an allocation round's outcome to the PB: within the
+// window, allocated hits move to the top and unallocated hits are
+// written back after them, and the offset advances past the allocated
+// ones (steps 7-9 of Fig. 10, the fragmentation solution).
+func (b *HitsBuffer) Commit(allocated, unallocated []core.Hit) {
+	n := len(allocated) + len(unallocated)
+	if n > len(b.pb)-b.offset {
+		panic(fmt.Sprintf("coordinator: commit of %d hits exceeds window of %d", n, len(b.pb)-b.offset))
+	}
+	copy(b.pb[b.offset:], allocated)
+	copy(b.pb[b.offset+len(allocated):], unallocated)
+	b.offset += len(allocated)
+}

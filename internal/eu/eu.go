@@ -1,0 +1,130 @@
+// Package eu models NvWa's extension units: Darwin-style Smith-
+// Waterman systolic arrays that execute the seed-extension phase. A
+// unit runs the cycle-exact systolic model of package systolic for
+// each of the hit's two extension sub-tasks (left and right of the
+// seed), so both its results and its latency are faithful: scores
+// equal the software pipeline's, and the matrix-fill cost follows the
+// paper's Formula 3 for the unit's PE count.
+package eu
+
+import (
+	"nvwa/internal/core"
+	"nvwa/internal/pipeline"
+	"nvwa/internal/seq"
+	"nvwa/internal/sim"
+	"nvwa/internal/systolic"
+)
+
+// CostModel adds the fixed per-task costs around the matrix fill.
+type CostModel struct {
+	// LoadCycles covers loading the hit's query and reference windows
+	// into the array.
+	LoadCycles int64
+}
+
+// DefaultCostModel returns the calibrated fixed costs.
+func DefaultCostModel() CostModel { return CostModel{LoadCycles: 8} }
+
+// Unit is one extension unit.
+type Unit struct {
+	id      int
+	class   int
+	arr     systolic.Array
+	aligner *pipeline.Aligner
+	cost    CostModel
+	state   core.UnitState
+
+	// Tracker records busy intervals for utilization figures.
+	Tracker sim.BusyTracker
+
+	// counters
+	tasks        int
+	fillCycles   int64
+	busyPECycles int64
+}
+
+// New builds an extension unit of the given class with pes processing
+// elements.
+func New(id, class, pes int, aligner *pipeline.Aligner, cost CostModel) *Unit {
+	return &Unit{
+		id:      id,
+		class:   class,
+		arr:     systolic.Array{PEs: pes, Scoring: aligner.Options().Scoring},
+		aligner: aligner,
+		cost:    cost,
+	}
+}
+
+// ID returns the unit's global index.
+func (u *Unit) ID() int { return u.id }
+
+// Class returns the unit's class index in the hybrid pool.
+func (u *Unit) Class() int { return u.class }
+
+// PEs implements the Table III pe_number signal.
+func (u *Unit) PEs() int { return u.arr.PEs }
+
+// State implements the Table III control interface.
+func (u *Unit) State() core.UnitState { return u.state }
+
+// Stop parks the unit.
+func (u *Unit) Stop() { u.state = core.Stopped }
+
+// SetBusy transitions the unit to busy at cycle now.
+func (u *Unit) SetBusy(now int64) {
+	u.state = core.Busy
+	u.Tracker.SetBusy(now)
+}
+
+// SetIdle transitions the unit to idle at cycle now.
+func (u *Unit) SetIdle(now int64) {
+	u.state = core.Idle
+	u.Tracker.SetIdle(now)
+}
+
+// Tasks returns how many hits the unit has extended.
+func (u *Unit) Tasks() int { return u.tasks }
+
+// PEUtilization returns the array's internal PE occupancy across all
+// executed tasks (busy PE-cycles over PEs x fill cycles).
+func (u *Unit) PEUtilization() float64 {
+	if u.fillCycles == 0 {
+		return 0
+	}
+	return float64(u.busyPECycles) / float64(int64(u.arr.PEs)*u.fillCycles)
+}
+
+// Execute extends one hit starting at cycle now. oriented must be
+// pipeline.Orient(read, h.Rev). It returns the extension result —
+// bit-identical to the software pipeline's ExtendHit — and the
+// completion cycle. The caller manages busy/idle state.
+//
+// Timing follows the paper's Formula 3 over the task the array
+// actually executes, GACT-style: the seed span streams through the
+// array with both flank extensions appended, and a flank stops
+// occupying the array once the z-drop heuristic kills it. A strong
+// full-coverage chain is therefore a long task (roughly the read
+// length), while the numerous spurious repeat-fragment chains
+// terminate after a handful of rows and form the short-task mass the
+// Hybrid Units Strategy sizes its small arrays for.
+func (u *Unit) Execute(now int64, oriented seq.Seq, h core.Hit) (core.Extension, int64) {
+	ext, cost := u.aligner.ExtendHitCost(oriented, h)
+	r, _ := cost.TaskDims(h, u.aligner.Options().ExtBand)
+	// The hit span (the paper's hit_len) sets the array residency —
+	// how many P-wide query blocks stream the reference — while the
+	// flank probes extend the streamed reference (r includes the rows
+	// the z-drop heuristic actually processed). This is what makes
+	// Formula 3 with R=Q=hit_len the right sizing rule, exactly as the
+	// paper applies it in Fig. 8/9.
+	fill := int64(systolic.Latency(r, h.SeedLen(), u.arr.PEs))
+	u.fillCycles += fill
+	// PE-occupancy accounting: processed DP cells over the array-time
+	// the task held.
+	u.busyPECycles += int64(cost.LeftRows*cost.LeftQ + cost.RightRows*cost.RightQ + h.SeedLen())
+	// Traceback walks the task's final alignment path (one step per
+	// cycle); a z-dropped secondary traces only its short surviving
+	// span, a full-coverage alignment the whole read.
+	cycles := u.cost.LoadCycles + fill + int64(systolic.TracebackLatency(ext.RefEnd-ext.RefBeg, h.SeedLen()))
+	u.tasks++
+	return ext, now + cycles
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBandPressure(t *testing.T) {
+	env := getEnv(t)
+	rows := BandPressure(env, 150)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	narrow, wide, scaled := rows[0], rows[1], rows[2]
+	if narrow.Hits == 0 {
+		t.Fatal("no extensions measured")
+	}
+	// The wide band never retries more than the narrow one.
+	if wide.Retries > narrow.Retries {
+		t.Errorf("wide band retried more (%d) than narrow (%d)", wide.Retries, narrow.Retries)
+	}
+	// The scaled policy must retry less than the narrow fixed band
+	// while doing less banded work than the wide fixed band — the
+	// paper's iso-area argument.
+	if scaled.Retries >= narrow.Retries {
+		t.Errorf("scaled retries %d not below narrow %d", scaled.Retries, narrow.Retries)
+	}
+	if scaled.CellWork >= wide.CellWork {
+		t.Errorf("scaled cell work %d not below wide %d", scaled.CellWork, wide.CellWork)
+	}
+	if !strings.Contains(FormatBandPressure(rows), "attempts/hit") {
+		t.Error("format incomplete")
+	}
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"nvwa/internal/genome"
+	"nvwa/internal/stats"
+)
+
+// Fig14Row is one dataset of the sensitivity study.
+type Fig14Row struct {
+	Dataset string
+	Long    bool
+	// ThroughputKReads is the simulated NvWa throughput.
+	ThroughputKReads float64
+	// SoftwareKReads is the measured software pipeline throughput.
+	SoftwareKReads float64
+	// Speedup is NvWa over the software baseline (the paper reports
+	// 285.6-357x for short reads and 259-272x for long reads against
+	// its 16-thread CPU).
+	Speedup float64
+	// Distribution is the hit-length share per interval (Fig. 14(b)).
+	Distribution []float64
+}
+
+// Fig14 runs NvWa (with the H. sapiens-derived configuration, as the
+// paper fixes the hardware from NA12878 statistics) across the six
+// species proxies plus a long-read workload.
+func Fig14(refLen, numReads int, seed int64) []Fig14Row {
+	human := NewEnv(refLen, numReads, seed)
+	profiles := []genome.Profile{
+		genome.HumanLike(),
+		genome.ClitarchusLike,
+		genome.ZapusLike,
+		genome.CamelusLike,
+		genome.VenustaLike,
+		genome.ElegansLike,
+	}
+	var rows []Fig14Row
+	for i, p := range profiles {
+		env := NewEnvProfile(p, genome.ShortReadConfig(seed+int64(i)+7), refLen, numReads, seed+int64(i)+100)
+		rows = append(rows, fig14Row(env, human, p.Name, false))
+	}
+	// Long reads on the human-like genome (GACT-style iterative
+	// extension on the largest EU class).
+	longReads := numReads / 10
+	if longReads < 20 {
+		longReads = 20
+	}
+	longEnv := NewEnvProfile(genome.HumanLike(), genome.LongReadConfig(seed+55), refLen, longReads, seed+200)
+	rows = append(rows, fig14Row(longEnv, human, "H.sapiens-like (1 kbp long reads)", true))
+	return rows
+}
+
+// fig14Row simulates one dataset with the hardware configuration
+// derived from the reference (human) workload.
+func fig14Row(env, hwEnv *Env, name string, long bool) Fig14Row {
+	o := env.NvWaOptions()
+	o.Config.EUClasses = hwEnv.Classes // hardware fixed from NA12878-like stats
+	rep := env.run(o)
+	_, sw := env.Aligner.AlignAll(env.Reads, 0)
+	row := Fig14Row{
+		Dataset:          name,
+		Long:             long,
+		ThroughputKReads: rep.ThroughputReadsPerSec / 1000,
+		SoftwareKReads:   sw / 1000,
+	}
+	if sw > 0 {
+		row.Speedup = rep.ThroughputReadsPerSec / sw
+	}
+	row.Distribution = stats.NewIntervalHistogram([]int{16, 32, 64, 128}, rep.HitLens).Fractions()
+	return row
+}
+
+// FormatFig14 renders the sensitivity table.
+func FormatFig14(rows []Fig14Row) string {
+	var b strings.Builder
+	b.WriteString("Fig. 14 — multi-dataset sensitivity (hardware fixed from the H. sapiens profile)\n")
+	b.WriteString("  dataset                              NvWa(K)  software(K)  speedup  hit distribution (<=16/32/64/128+)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-35s %8.0f  %11.1f  %6.0fx  ", r.Dataset, r.ThroughputKReads, r.SoftwareKReads, r.Speedup)
+		for _, f := range r.Distribution {
+			fmt.Fprintf(&b, "%5.1f%% ", 100*f)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

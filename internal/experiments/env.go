@@ -1,0 +1,88 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Sec. V). Each experiment is a function returning
+// a structured result with a Format method that prints the same rows
+// or series the paper reports. DESIGN.md maps experiment IDs to the
+// modules involved; EXPERIMENTS.md records paper-versus-measured
+// values.
+package experiments
+
+import (
+	"nvwa/internal/accel"
+	"nvwa/internal/core"
+	"nvwa/internal/extsched"
+	"nvwa/internal/genome"
+	"nvwa/internal/pipeline"
+	"nvwa/internal/seq"
+)
+
+// Env is a reusable workload: a synthetic reference, its index, and a
+// simulated read set. Building the index dominates setup time, so
+// experiments share an Env where possible.
+type Env struct {
+	// Ref is the synthetic reference genome.
+	Ref *genome.Reference
+	// Aligner owns the FM-index and the software pipeline.
+	Aligner *pipeline.Aligner
+	// Reads are the simulated read sequences.
+	Reads []seq.Seq
+	// Records keeps the simulation ground truth for accuracy checks.
+	Records []genome.Read
+	// Classes is the hybrid EU pool derived from this workload's hit
+	// distribution via Eq. (4)-(5), as Sec. V-A prescribes.
+	Classes []core.EUClass
+}
+
+// NewEnv builds the standard short-read workload: a human-like
+// reference and 101 bp Illumina-like reads (the NA12878 stand-in).
+func NewEnv(refLen, numReads int, seed int64) *Env {
+	return NewEnvProfile(genome.HumanLike(), genome.ShortReadConfig(seed+1), refLen, numReads, seed)
+}
+
+// NewEnvProfile builds a workload from an explicit genome profile and
+// read simulator configuration (the Fig. 14 species proxies).
+func NewEnvProfile(p genome.Profile, rc genome.SimulatorConfig, refLen, numReads int, seed int64) *Env {
+	ref := genome.Generate(p, refLen, seed)
+	aligner := pipeline.New(ref.Seq, pipeline.DefaultOptions())
+	records := genome.Simulate(ref, numReads, rc)
+	reads := make([]seq.Seq, len(records))
+	for i, r := range records {
+		reads[i] = r.Seq
+	}
+	env := &Env{Ref: ref, Aligner: aligner, Reads: reads, Records: records}
+	sample := reads
+	if len(sample) > 500 {
+		sample = sample[:500]
+	}
+	classes, err := accel.DeriveEUClasses(aligner, sample, extsched.PowerOfTwoSizes(4, 16), core.DefaultConfig().TotalPEs())
+	if err != nil {
+		// Degenerate workloads (no hits) fall back to the Table I pool.
+		classes = core.DefaultConfig().EUClasses
+	}
+	env.Classes = classes
+	return env
+}
+
+// NvWaOptions returns the full NvWa configuration with this workload's
+// derived EU pool.
+func (e *Env) NvWaOptions() accel.Options {
+	o := accel.NvWaOptions()
+	o.Config.EUClasses = e.Classes
+	return o
+}
+
+// BaselineOptions returns the SUs+EUs comparison system.
+func (e *Env) BaselineOptions() accel.Options { return accel.BaselineOptions() }
+
+// RunNvWa simulates the full NvWa system on the workload.
+func (e *Env) RunNvWa() *accel.Report { return e.run(e.NvWaOptions()) }
+
+// RunBaseline simulates the SUs+EUs baseline on the workload.
+func (e *Env) RunBaseline() *accel.Report { return e.run(e.BaselineOptions()) }
+
+func (e *Env) run(o accel.Options) *accel.Report {
+	sys, err := accel.New(e.Aligner, o)
+	if err != nil {
+		panic(err) // options are constructed internally; invalid means a bug
+	}
+	return sys.Run(e.Reads)
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIntraUnitOrdering(t *testing.T) {
+	env := getEnv(t)
+	rows := IntraUnit(env)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Paper Sec. IV-B: intra-unit switching (ERT) removes DRAM bubbles,
+	// the One-Cycle Read Allocator additionally removes inter-unit
+	// diversity bubbles — each level must not be slower than the last.
+	if rows[1].Cycles > rows[0].Cycles {
+		t.Errorf("ERT-style switching slower than no switching: %d vs %d", rows[1].Cycles, rows[0].Cycles)
+	}
+	if rows[2].Cycles > rows[1].Cycles {
+		t.Errorf("one-cycle slower than ERT-style: %d vs %d", rows[2].Cycles, rows[1].Cycles)
+	}
+	// And the full OCRA must beat plain batch clearly.
+	if float64(rows[0].Cycles) < 1.2*float64(rows[2].Cycles) {
+		t.Errorf("OCRA gain too small: %d vs %d", rows[0].Cycles, rows[2].Cycles)
+	}
+	if !strings.Contains(FormatIntraUnit(rows), "ERT") {
+		t.Error("format incomplete")
+	}
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeedingTraffic(t *testing.T) {
+	env := getEnv(t)
+	res, err := SeedingTraffic(env, 100, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reads != 100 {
+		t.Fatalf("reads = %d", res.Reads)
+	}
+	// The FM-index does many small on-chip occ reads; the hash method
+	// does 2 DRAM pointer reads per k-mer plus one per position.
+	if res.FMOccAccesses <= 0 || res.FMSALookups <= 0 {
+		t.Error("no FM traffic measured")
+	}
+	if res.HashPointer <= 0 || res.HashPosition <= 0 {
+		t.Error("no hash traffic measured")
+	}
+	// Strided every-12th k-mer of a 101bp read = ~8 lookups = 16 pointer
+	// accesses (the "2" of 2+P).
+	if res.HashPointer < 10 || res.HashPointer > 24 {
+		t.Errorf("pointer accesses/read = %.1f, expected ~16", res.HashPointer)
+	}
+	if !strings.Contains(res.Format(), "2+P") {
+		t.Error("format incomplete")
+	}
+}

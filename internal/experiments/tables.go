@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"nvwa/internal/accel"
+	"nvwa/internal/baselines"
+	"nvwa/internal/core"
+	"nvwa/internal/energy"
+)
+
+// Table1 renders the system configurations (paper Table I). The CPU
+// and GPU columns are the paper's platforms, quoted for context.
+func Table1(cfg core.Config) string {
+	var b strings.Builder
+	b.WriteString("Table I — system configurations\n")
+	b.WriteString("                    BWA-MEM (paper)        GASAL2 (paper)         NvWa\n")
+	fmt.Fprintf(&b, "  compute           16 cores @ 2.10GHz     6912 cores @ 1.41GHz   %d SUs and %d EUs @ %g GHz\n",
+		cfg.NumSUs, cfg.TotalEUs(), cfg.ClockGHz)
+	fmt.Fprintf(&b, "  on-chip memory    20MB                   40MB                   512KB (SUs), 20MB (EUs), 150KB (Coordinator)\n")
+	fmt.Fprintf(&b, "  off-chip memory   136.5GB/s DDR4         1555GB/s HBM v2.0      256GB/s HBM v1.0\n")
+	fmt.Fprintf(&b, "  EU pool:")
+	for _, c := range cfg.EUClasses {
+		fmt.Fprintf(&b, " %dx%dPE", c.Count, c.PEs)
+	}
+	fmt.Fprintf(&b, " (%d PEs total)\n", cfg.TotalPEs())
+	return b.String()
+}
+
+// Table2Result combines the static Table II model with simulated
+// energy-per-read comparisons.
+type Table2Result struct {
+	Components []energy.Component
+	// NvWaEnergyPerReadJ uses the Table II core power and the
+	// simulated throughput.
+	NvWaEnergyPerReadJ float64
+	// SimThroughputKReads is the simulated NvWa throughput used.
+	SimThroughputKReads float64
+}
+
+// Table2 evaluates the area/power breakdown and energy per read.
+func Table2(rep *accel.Report) Table2Result {
+	cs := energy.TableII()
+	res := Table2Result{Components: cs}
+	if rep != nil {
+		res.SimThroughputKReads = rep.ThroughputReadsPerSec / 1000
+		res.NvWaEnergyPerReadJ = energy.EnergyPerReadJ(energy.TotalPower(cs)+energy.HBMPowerW, rep.ThroughputReadsPerSec)
+	}
+	return res
+}
+
+// Format renders the breakdown plus the paper's energy claims.
+func (r Table2Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Table II — area and power breakdown\n")
+	b.WriteString(energy.FormatTable(r.Components))
+	aFrac, pFrac := energy.SchedulerShare(r.Components)
+	fmt.Fprintf(&b, "scheduling blocks: %.2f%% of area, %.2f%% of power (paper: 5.84%% / 13.38%%)\n",
+		100*aFrac, 100*pFrac)
+	if r.SimThroughputKReads > 0 {
+		fmt.Fprintf(&b, "simulated throughput %.0f Kreads/s -> %.3g J/read at %.3f W (with HBM)\n",
+			r.SimThroughputKReads, r.NvWaEnergyPerReadJ, energy.TotalPower(r.Components)+energy.HBMPowerW)
+	}
+	b.WriteString("paper energy reductions: ")
+	for _, p := range baselines.Platforms() {
+		if p.PaperEnergyReduction > 0 {
+			fmt.Fprintf(&b, "%s %.2fx  ", p.Kind, p.PaperEnergyReduction)
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package fmindex
+
+// BiIndex is a bidirectional FM-index: one index over the text and one
+// over its reverse, kept in lockstep so a pattern interval can be
+// extended by a base on either side. This is the textbook equivalent of
+// the FMD-index BWA-MEM uses for SMEM seeding.
+type BiIndex struct {
+	fwd *Index // index of U
+	rev *Index // index of reverse(U)
+}
+
+// NewBi builds a bidirectional index of t.
+func NewBi(t []byte) *BiIndex {
+	r := make([]byte, len(t))
+	for i, b := range t {
+		r[len(t)-1-i] = b
+	}
+	return &BiIndex{fwd: New(t), rev: New(r)}
+}
+
+// Fwd exposes the forward index (used for locating occurrences).
+func (b *BiIndex) Fwd() *Index { return b.fwd }
+
+// TextLen returns the length of the indexed text.
+func (b *BiIndex) TextLen() int { return b.fwd.textLen }
+
+// BiInterval pairs the SA interval of pattern P in the forward index
+// with the SA interval of reverse(P) in the reverse index. The two
+// always have the same size.
+type BiInterval struct {
+	Fwd, Rev Interval
+}
+
+// Size returns the number of occurrences of the pattern.
+func (iv BiInterval) Size() int { return iv.Fwd.Size() }
+
+// Empty reports whether the pattern does not occur.
+func (iv BiInterval) Empty() bool { return iv.Fwd.Empty() }
+
+// Single returns the bi-interval of the single-base pattern a. It is
+// served from the C table and charges no occurrence-table access.
+func (b *BiIndex) Single(a byte) BiInterval {
+	return BiInterval{
+		Fwd: Interval{b.fwd.c[a], b.fwd.c[a+1]},
+		Rev: Interval{b.rev.c[a], b.rev.c[a+1]},
+	}
+}
+
+// Occ4 returns occurrence counts of all four bases in bwt[0:i). The
+// hardware reads one 128-base checkpointed block, so a single table
+// access is charged regardless of how many of the four counters the
+// caller consumes (mirroring bwt_2occ4 / the LFMapBit block fetch).
+func (x *Index) Occ4(i int, st *Stats) [4]int {
+	if st != nil {
+		st.OccAccesses++
+	}
+	var out [4]int
+	for a := 0; a < 4; a++ {
+		out[a] = x.occRaw(byte(a), i)
+	}
+	return out
+}
+
+// ExtendLeft turns the interval of P into the interval of aP.
+func (b *BiIndex) ExtendLeft(iv BiInterval, a byte, st *Stats) BiInterval {
+	loOcc := b.fwd.Occ4(iv.Fwd.Lo, st)
+	hiOcc := b.fwd.Occ4(iv.Fwd.Hi, st)
+	var s [4]int
+	total := 0
+	for c := 0; c < 4; c++ {
+		s[c] = hiOcc[c] - loOcc[c]
+		total += s[c]
+	}
+	// Occurrences of P preceded by the start of text (sentinel in the
+	// BWT); in the reverse index these sort before every extension.
+	e := iv.Fwd.Size() - total
+
+	var out BiInterval
+	out.Fwd = Interval{b.fwd.c[a] + loOcc[a], b.fwd.c[a] + hiOcc[a]}
+	lo := iv.Rev.Lo + e
+	for c := 0; c < int(a); c++ {
+		lo += s[c]
+	}
+	out.Rev = Interval{lo, lo + s[a]}
+	return out
+}
+
+// ExtendRight turns the interval of P into the interval of Pa.
+func (b *BiIndex) ExtendRight(iv BiInterval, a byte, st *Stats) BiInterval {
+	loOcc := b.rev.Occ4(iv.Rev.Lo, st)
+	hiOcc := b.rev.Occ4(iv.Rev.Hi, st)
+	var s [4]int
+	total := 0
+	for c := 0; c < 4; c++ {
+		s[c] = hiOcc[c] - loOcc[c]
+		total += s[c]
+	}
+	e := iv.Rev.Size() - total
+
+	var out BiInterval
+	out.Rev = Interval{b.rev.c[a] + loOcc[a], b.rev.c[a] + hiOcc[a]}
+	lo := iv.Fwd.Lo + e
+	for c := 0; c < int(a); c++ {
+		lo += s[c]
+	}
+	out.Fwd = Interval{lo, lo + s[a]}
+	return out
+}
+
+// CountBi returns the number of occurrences of p using left extensions,
+// for cross-checking against Index.Count.
+func (b *BiIndex) CountBi(p []byte, st *Stats) int {
+	if len(p) == 0 {
+		return b.fwd.size()
+	}
+	iv := b.Single(p[len(p)-1])
+	for i := len(p) - 2; i >= 0; i-- {
+		iv = b.ExtendLeft(iv, p[i], st)
+		if iv.Empty() {
+			return 0
+		}
+	}
+	return iv.Size()
+}

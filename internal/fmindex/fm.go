@@ -1,0 +1,254 @@
+package fmindex
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// OccInterval is the checkpoint spacing of the occurrence table. The
+// paper sets the FM-index interval of its SUs to 128 (Sec. V-A).
+const OccInterval = 128
+
+// saSampleRate is the suffix-array sampling used by Locate. One LF
+// walk averages saSampleRate/2 steps.
+const saSampleRate = 32
+
+const basesPerWord = 32 // 2-bit bases in a uint64
+
+// Stats counts the memory traffic of index operations. The SU cycle
+// model converts these counts into cycles and DRAM transactions.
+type Stats struct {
+	// OccAccesses counts occurrence-table block reads (one 128-base
+	// checkpointed block per Occ evaluation) served from SU table SRAM.
+	OccAccesses int
+	// LFSteps counts LF-mapping steps performed during Locate walks.
+	LFSteps int
+	// SALookups counts sampled-suffix-array reads, served from HBM.
+	SALookups int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.OccAccesses += other.OccAccesses
+	s.LFSteps += other.LFSteps
+	s.SALookups += other.SALookups
+}
+
+// Index is an FM-index over a 2-bit coded text plus virtual sentinel.
+type Index struct {
+	textLen int
+	primary int      // BWT position of the sentinel
+	bwt     []uint64 // packed BWT, 32 bases per word (sentinel stored as 0)
+	occ     [][4]int32
+	c       [5]int // C[a] = count of bases < a in text (sentinel included at rank 0)
+	saMask []uint64 // bitset: SA value sampled at this BWT row?
+	saRank []int32  // cumulative popcount of saMask words, for O(1) rank
+	saVals []int32  // sampled SA values, indexed by rank among sampled rows
+}
+
+// New builds an FM-index of t (2-bit codes). It retains no reference
+// to t.
+func New(t []byte) *Index {
+	sa := BuildSuffixArray(t)
+	bwtBytes, primary := BWTFromSA(t, sa)
+	n := len(bwtBytes)
+
+	idx := &Index{textLen: len(t), primary: primary}
+
+	// Pack the BWT.
+	idx.bwt = make([]uint64, (n+basesPerWord-1)/basesPerWord)
+	for i, b := range bwtBytes {
+		idx.bwt[i/basesPerWord] |= uint64(b&3) << uint((i%basesPerWord)*2)
+	}
+
+	// Occurrence checkpoints every OccInterval bases.
+	nCheck := n/OccInterval + 1
+	idx.occ = make([][4]int32, nCheck)
+	var running [4]int32
+	for i := 0; i <= n; i++ {
+		if i%OccInterval == 0 {
+			idx.occ[i/OccInterval] = running
+		}
+		if i < n && i != primary {
+			running[bwtBytes[i]]++
+		}
+	}
+
+	// C table: counts of symbols smaller than a. Sentinel counts as the
+	// single smallest symbol.
+	var freq [4]int
+	for _, b := range t {
+		freq[b&3]++
+	}
+	idx.c[0] = 1
+	for a := 1; a < 5; a++ {
+		idx.c[a] = idx.c[a-1] + freq[a-1]
+	}
+
+	// Sampled suffix array with per-word rank checkpoints.
+	idx.saMask = make([]uint64, (n+63)/64)
+	for i, s := range sa {
+		if s%saSampleRate == 0 {
+			idx.saMask[i/64] |= 1 << uint(i%64)
+			idx.saVals = append(idx.saVals, s)
+		}
+	}
+	idx.saRank = make([]int32, len(idx.saMask)+1)
+	for w, word := range idx.saMask {
+		idx.saRank[w+1] = idx.saRank[w] + int32(bits.OnesCount64(word))
+	}
+	return idx
+}
+
+// TextLen returns the length of the indexed text (without sentinel).
+func (x *Index) TextLen() int { return x.textLen }
+
+// size returns the BWT length (text + sentinel).
+func (x *Index) size() int { return x.textLen + 1 }
+
+// Occ returns the number of occurrences of base a in bwt[0:i), and
+// charges one occurrence-table access to st.
+func (x *Index) Occ(a byte, i int, st *Stats) int {
+	if st != nil {
+		st.OccAccesses++
+	}
+	return x.occRaw(a, i)
+}
+
+func (x *Index) occRaw(a byte, i int) int {
+	if i <= 0 {
+		return 0
+	}
+	if i > x.size() {
+		i = x.size()
+	}
+	cp := i / OccInterval
+	if cp >= len(x.occ) {
+		cp = len(x.occ) - 1
+	}
+	count := int(x.occ[cp][a])
+	start := cp * OccInterval
+	// Popcount the 2-bit symbols equal to a in bwt[start:i).
+	pat := uint64(a&3) * 0x5555555555555555
+	for w := start / basesPerWord; w*basesPerWord < i; w++ {
+		word := x.bwt[w] ^ ^pat // bases equal to a become 0b11 pairs... (inverted xor)
+		word = word & (word >> 1) & 0x5555555555555555
+		lo := w * basesPerWord
+		// Mask off bases outside [start, i).
+		if lo < start {
+			word &^= (1 << uint((start-lo)*2)) - 1
+		}
+		if hi := lo + basesPerWord; hi > i {
+			if i <= lo {
+				break
+			}
+			word &= (1 << uint((i-lo)*2)) - 1
+		}
+		count += bits.OnesCount64(word)
+	}
+	// The sentinel is stored as symbol 0; exclude it from counts of A.
+	if a == 0 && x.primary >= start && x.primary < i {
+		count--
+	}
+	return count
+}
+
+// bwtAt returns the BWT symbol at row i (undefined at primary).
+func (x *Index) bwtAt(i int) byte {
+	return byte(x.bwt[i/basesPerWord]>>uint((i%basesPerWord)*2)) & 3
+}
+
+// Interval is a half-open SA interval [Lo, Hi) of rows whose suffixes
+// start with the current pattern.
+type Interval struct {
+	Lo, Hi int
+}
+
+// Size returns the number of occurrences represented by the interval.
+func (iv Interval) Size() int { return iv.Hi - iv.Lo }
+
+// Empty reports whether the interval holds no occurrences.
+func (iv Interval) Empty() bool { return iv.Hi <= iv.Lo }
+
+// Full returns the interval of the empty pattern: all rows.
+func (x *Index) Full() Interval { return Interval{0, x.size()} }
+
+// Extend performs one backward-search step: the interval of pattern P
+// becomes the interval of aP. Two Occ evaluations are charged.
+func (x *Index) Extend(iv Interval, a byte, st *Stats) Interval {
+	lo := x.c[a] + x.Occ(a, iv.Lo, st)
+	hi := x.c[a] + x.Occ(a, iv.Hi, st)
+	return Interval{lo, hi}
+}
+
+// Count returns the number of occurrences of pattern p in the text.
+func (x *Index) Count(p []byte, st *Stats) int {
+	iv := x.Full()
+	for i := len(p) - 1; i >= 0; i-- {
+		iv = x.Extend(iv, p[i], st)
+		if iv.Empty() {
+			return 0
+		}
+	}
+	return iv.Size()
+}
+
+// lf maps BWT row i to the row of the preceding text position.
+func (x *Index) lf(i int, st *Stats) int {
+	if i == x.primary {
+		return 0
+	}
+	a := x.bwtAt(i)
+	if st != nil {
+		st.LFSteps++
+	}
+	return x.c[a] + x.Occ(a, i, st)
+}
+
+// Locate returns the text position of the suffix at SA row i by
+// LF-walking to the nearest sampled row.
+func (x *Index) Locate(i int, st *Stats) int {
+	steps := 0
+	for x.saMask[i/64]&(1<<uint(i%64)) == 0 {
+		i = x.lf(i, st)
+		steps++
+	}
+	if st != nil {
+		st.SALookups++
+	}
+	return int(x.saVals[x.sampleRank(i)]) + steps
+}
+
+// sampleRank returns the index into saVals for sampled row i.
+func (x *Index) sampleRank(i int) int {
+	return int(x.saRank[i/64]) + bits.OnesCount64(x.saMask[i/64]&((1<<uint(i%64))-1))
+}
+
+// LocateAll returns the text positions of every occurrence in iv, up
+// to max (0 means no limit).
+func (x *Index) LocateAll(iv Interval, max int, st *Stats) []int {
+	n := iv.Size()
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]int, 0, n)
+	for i := iv.Lo; i < iv.Lo+n; i++ {
+		out = append(out, x.Locate(i, st))
+	}
+	return out
+}
+
+// Validate performs internal consistency checks, for tests.
+func (x *Index) Validate() error {
+	if x.primary < 0 || x.primary >= x.size() {
+		return fmt.Errorf("fmindex: primary %d out of range", x.primary)
+	}
+	total := 0
+	for a := byte(0); a < 4; a++ {
+		total += x.occRaw(a, x.size())
+	}
+	if total != x.textLen {
+		return fmt.Errorf("fmindex: occ total %d != text length %d", total, x.textLen)
+	}
+	return nil
+}

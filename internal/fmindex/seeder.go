@@ -1,0 +1,80 @@
+package fmindex
+
+// Seeder performs end-to-end seeding of a read against a reference:
+// it indexes T·revcomp(T) so SMEMs are found on both strands
+// simultaneously, exactly as BWA-MEM's FMD-index does, and converts
+// located occurrences back to forward-strand reference coordinates.
+type Seeder struct {
+	bi *BiIndex
+	n  int // reference length (T only)
+}
+
+// NewSeeder indexes the 2-bit coded reference t (and its reverse
+// complement) for seeding.
+func NewSeeder(t []byte) *Seeder {
+	u := make([]byte, 2*len(t))
+	copy(u, t)
+	for i, b := range t {
+		u[2*len(t)-1-i] = 3 - (b & 3)
+	}
+	return &Seeder{bi: NewBi(u), n: len(t)}
+}
+
+// Bi exposes the underlying bidirectional index.
+func (s *Seeder) Bi() *BiIndex { return s.bi }
+
+// RefLen returns the reference length.
+func (s *Seeder) RefLen() int { return s.n }
+
+// Seed is one located seed occurrence: read[ReadBeg:ReadEnd) matches
+// the reference at RefPos (forward-strand coordinates). Rev marks a
+// reverse-complement-strand occurrence. Count is the total occurrence
+// count of the SMEM this seed came from.
+type Seed struct {
+	ReadBeg, ReadEnd int
+	RefPos           int
+	Rev              bool
+	Count            int
+}
+
+// Len returns the seed length.
+func (s Seed) Len() int { return s.ReadEnd - s.ReadBeg }
+
+// Seeds finds all seeds of r with length >= minLen using the full
+// three-pass BWA-MEM strategy — SMEMs, re-seeding (split length
+// 1.5 x minLen, split width 10), and the LAST-like repeat-seed pass
+// (occurrence threshold maxMemIntv) — and locates up to maxOcc
+// occurrences per match (0 = unlimited). Memory traffic is
+// accumulated in st.
+func (s *Seeder) Seeds(r []byte, minLen, maxOcc, maxMemIntv int, st *Stats) []Seed {
+	smems := s.bi.FindSMEMsReseed(r, minLen, minLen*3/2, 10, st)
+	if maxMemIntv > 0 {
+		seen := make(map[[2]int]bool, len(smems))
+		for _, m := range smems {
+			seen[[2]int{m.ReadBeg, m.ReadEnd}] = true
+		}
+		for _, m := range s.bi.RepeatSeeds(r, minLen, maxMemIntv, st) {
+			if !seen[[2]int{m.ReadBeg, m.ReadEnd}] {
+				smems = append(smems, m)
+			}
+		}
+	}
+	var out []Seed
+	for _, m := range smems {
+		l := m.Len()
+		for _, pos := range s.bi.fwd.LocateAll(m.Iv.Fwd, maxOcc, st) {
+			switch {
+			case pos+l <= s.n:
+				out = append(out, Seed{ReadBeg: m.ReadBeg, ReadEnd: m.ReadEnd, RefPos: pos, Rev: false, Count: m.Iv.Size()})
+			case pos >= s.n:
+				// Occurrence on the reverse-complement half: map back to
+				// forward coordinates.
+				out = append(out, Seed{ReadBeg: m.ReadBeg, ReadEnd: m.ReadEnd, RefPos: 2*s.n - pos - l, Rev: true, Count: m.Iv.Size()})
+			default:
+				// Spans the T / revcomp(T) junction: artifact of the
+				// concatenated index, discard.
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package fmindex
+
+// SMEM is a supermaximal exact match: the read substring [ReadBeg,
+// ReadEnd) occurs in the text and is not contained in any longer match
+// that also occurs. Iv is the match's bi-interval in the index.
+type SMEM struct {
+	ReadBeg, ReadEnd int
+	Iv               BiInterval
+}
+
+// Len returns the match length in bases.
+func (s SMEM) Len() int { return s.ReadEnd - s.ReadBeg }
+
+type smemEntry struct {
+	iv  BiInterval
+	end int
+}
+
+// FindSMEMs enumerates all supermaximal exact matches of r with length
+// >= minLen and at most maxIntv occurrences (0 disables the occurrence
+// cap). The traversal is the two-phase forward/backward algorithm of
+// BWA-MEM (bwt_smem1): from each anchor position, extend right
+// recording every interval-size change, then sweep left, emitting a
+// SMEM whenever the longest surviving match can no longer be extended.
+func (b *BiIndex) FindSMEMs(r []byte, minLen int, st *Stats) []SMEM {
+	var out []SMEM
+	x := 0
+	for x < len(r) {
+		x = b.smem1(r, x, 1, &out, st)
+	}
+	// Filter by minimum seed length (done after traversal, as BWA does).
+	keep := out[:0]
+	for _, s := range out {
+		if s.Len() >= minLen {
+			keep = append(keep, s)
+		}
+	}
+	return keep
+}
+
+// FindSMEMsReseed runs the full BWA-MEM seeding strategy: the SMEM
+// pass, then re-seeding (mem_reseed) — every sufficiently long SMEM
+// with few occurrences is re-searched from its midpoint requiring a
+// larger occurrence count, which surfaces the shorter, more frequent
+// sub-matches a supermaximal match hides (e.g. a read crossing a
+// transposon fragment whose interior matches hundreds of loci).
+// splitLen and splitWidth are BWA-MEM's -r parameters (1.5x min seed
+// length and 10 by default).
+func (b *BiIndex) FindSMEMsReseed(r []byte, minLen, splitLen, splitWidth int, st *Stats) []SMEM {
+	out := b.FindSMEMs(r, minLen, st)
+	first := out
+	seen := make(map[[2]int]bool, len(out))
+	for _, s := range out {
+		seen[[2]int{s.ReadBeg, s.ReadEnd}] = true
+	}
+	for _, s := range first {
+		if s.Len() < splitLen || s.Iv.Size() > splitWidth {
+			continue
+		}
+		mid := (s.ReadBeg + s.ReadEnd) / 2
+		var extra []SMEM
+		b.smem1(r, mid, s.Iv.Size()+1, &extra, st)
+		for _, e := range extra {
+			key := [2]int{e.ReadBeg, e.ReadEnd}
+			if e.Len() >= minLen && !seen[key] {
+				seen[key] = true
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// RepeatSeeds is BWA-MEM's third seeding pass (bwt_seed_strategy1,
+// LAST-like): scanning left to right, it emits the shortest match of
+// length >= minLen that still has at least maxIntv occurrences, then
+// restarts after it. This is the pass that surfaces the numerous
+// short seeds inside high-copy repeats, which neither the SMEM pass
+// nor re-seeding reports (a supermaximal match hides them and
+// re-seeding only probes one midpoint).
+func (b *BiIndex) RepeatSeeds(r []byte, minLen, maxIntv int, st *Stats) []SMEM {
+	var out []SMEM
+	x := 0
+	for x+minLen <= len(r) {
+		ik := b.Single(r[x])
+		if ik.Empty() {
+			x++
+			continue
+		}
+		next := len(r)
+		for i := x + 1; i < len(r); i++ {
+			ok := b.ExtendRight(ik, r[i], st)
+			if ok.Size() < maxIntv && i-x >= minLen {
+				if ik.Size() > 0 {
+					out = append(out, SMEM{ReadBeg: x, ReadEnd: i, Iv: ik})
+				}
+				next = i + 1
+				break
+			}
+			ik = ok
+		}
+		x = next
+	}
+	return out
+}
+
+// smem1 finds all SMEMs containing position x, appends them to out in
+// order of decreasing end, and returns the next anchor position (the
+// end of the longest match containing x).
+func (b *BiIndex) smem1(r []byte, x, minIntv int, out *[]SMEM, st *Stats) int {
+	ik := b.Single(r[x])
+	if ik.Empty() {
+		return x + 1
+	}
+	farEnd := x + 1
+	var curr, prev []smemEntry
+
+	// Forward phase: extend right, recording the interval each time the
+	// occurrence count drops.
+	for i := x + 1; i < len(r); i++ {
+		ok := b.ExtendRight(ik, r[i], st)
+		if ok.Size() != ik.Size() {
+			curr = append(curr, smemEntry{ik, i})
+			if ok.Size() < minIntv {
+				break
+			}
+		}
+		ik = ok
+		farEnd = i + 1
+	}
+	if len(curr) == 0 || curr[len(curr)-1].end != farEnd {
+		curr = append(curr, smemEntry{ik, farEnd})
+	}
+	// Reverse so longer matches (larger end, smaller interval) come
+	// first in the backward sweep.
+	for i, j := 0, len(curr)-1; i < j; i, j = i+1, j-1 {
+		curr[i], curr[j] = curr[j], curr[i]
+	}
+	prev, curr = curr, prev[:0]
+
+	// Backward phase: sweep left; when the longest surviving match can
+	// no longer be extended it is supermaximal. lastBeg dedups outputs
+	// within this invocation only.
+	lastBeg := len(r) + 1
+	for i := x - 1; i >= -1; i-- {
+		c := -1
+		if i >= 0 {
+			c = int(r[i])
+		}
+		curr = curr[:0]
+		for _, p := range prev {
+			var ok BiInterval
+			if c >= 0 {
+				ok = b.ExtendLeft(p.iv, byte(c), st)
+			}
+			if c < 0 || ok.Size() < minIntv {
+				if len(curr) == 0 && i+1 < lastBeg {
+					*out = append(*out, SMEM{ReadBeg: i + 1, ReadEnd: p.end, Iv: p.iv})
+					lastBeg = i + 1
+				}
+			} else if len(curr) == 0 || ok.Size() != curr[len(curr)-1].iv.Size() {
+				curr = append(curr, smemEntry{ok, p.end})
+			}
+		}
+		if len(curr) == 0 {
+			break
+		}
+		prev, curr = curr, prev
+	}
+	return farEnd
+}

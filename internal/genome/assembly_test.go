@@ -1,0 +1,140 @@
+package genome
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testAssembly(t *testing.T) *Assembly {
+	t.Helper()
+	a, err := GenerateAssembly(HumanLike(), []int{20000, 15000, 10000}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAssemblyConcatAndTranslate(t *testing.T) {
+	a := testAssembly(t)
+	if a.Len() != 45000 {
+		t.Fatalf("len = %d", a.Len())
+	}
+	cases := []struct {
+		pos   int
+		chrom string
+		local int
+	}{
+		{0, "H.sapiens-like_chr1", 0},
+		{19999, "H.sapiens-like_chr1", 19999},
+		{20000, "H.sapiens-like_chr2", 0},
+		{34999, "H.sapiens-like_chr2", 14999},
+		{35000, "H.sapiens-like_chr3", 0},
+		{44999, "H.sapiens-like_chr3", 9999},
+	}
+	for _, c := range cases {
+		chrom, local, err := a.Translate(c.pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chrom != c.chrom || local != c.local {
+			t.Errorf("Translate(%d) = %s:%d, want %s:%d", c.pos, chrom, local, c.chrom, c.local)
+		}
+	}
+	if _, _, err := a.Translate(45000); err == nil {
+		t.Error("out-of-range position accepted")
+	}
+	if _, _, err := a.Translate(-1); err == nil {
+		t.Error("negative position accepted")
+	}
+	// Translation must agree with the chromosome's own bases.
+	chrom, local, _ := a.Translate(20005)
+	if a.Concat()[20005] != a.Chroms[1].Seq[local] || chrom != a.Chroms[1].Name {
+		t.Error("translated base mismatch")
+	}
+}
+
+func TestAssemblySpans(t *testing.T) {
+	a := testAssembly(t)
+	if a.Spans(100, 201) {
+		t.Error("in-chromosome interval flagged as spanning")
+	}
+	if !a.Spans(19950, 20050) {
+		t.Error("boundary-crossing interval not flagged")
+	}
+	if !a.Spans(-1, 5) || !a.Spans(44990, 45001) || !a.Spans(10, 10) {
+		t.Error("degenerate intervals must span")
+	}
+}
+
+func TestAssemblyOffset(t *testing.T) {
+	a := testAssembly(t)
+	if off, err := a.Offset("H.sapiens-like_chr2"); err != nil || off != 20000 {
+		t.Errorf("Offset = %d, %v", off, err)
+	}
+	if _, err := a.Offset("nope"); err == nil {
+		t.Error("unknown chromosome accepted")
+	}
+}
+
+func TestAssemblyFASTARoundTrip(t *testing.T) {
+	a := testAssembly(t)
+	var buf bytes.Buffer
+	if err := WriteAssemblyFASTA(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), ">"); got != 3 {
+		t.Fatalf("%d records", got)
+	}
+	b, err := ReadAssemblyFASTA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Chroms) != 3 || !b.Concat().Equal(a.Concat()) {
+		t.Error("assembly does not round trip")
+	}
+}
+
+func TestAssemblyValidation(t *testing.T) {
+	if _, err := NewAssembly(nil); err == nil {
+		t.Error("empty assembly accepted")
+	}
+	r := Generate(HumanLike(), 100, 1)
+	if _, err := NewAssembly([]*Reference{r, r}); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	if _, err := ReadAssemblyFASTA(strings.NewReader("ACGT\n")); err == nil {
+		t.Error("headerless FASTA accepted")
+	}
+}
+
+func TestSimulateAssemblyReadsStayInChromosomes(t *testing.T) {
+	a := testAssembly(t)
+	cfg := ShortReadConfig(5)
+	reads := SimulateAssembly(a, 300, cfg)
+	for i, r := range reads {
+		if a.Spans(r.TruePos, r.TruePos+cfg.ReadLen) {
+			t.Fatalf("read %d spans a chromosome boundary at %d", i, r.TruePos)
+		}
+	}
+}
+
+func TestAssemblyEndToEndAlignment(t *testing.T) {
+	// Index the concatenation, align, translate results back — the
+	// workflow nvwa-align uses for multi-FASTA references.
+	a := testAssembly(t)
+	reads := SimulateAssembly(a, 60, ShortReadConfig(7))
+	// The pipeline package depends on genome, so exercise translation
+	// with ground truth only here (pipeline-level coverage lives in
+	// that package).
+	for _, r := range reads {
+		chrom, local, err := a.Translate(r.TruePos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, _ := a.Offset(chrom)
+		if off+local != r.TruePos {
+			t.Fatal("offset+local != concat position")
+		}
+	}
+}

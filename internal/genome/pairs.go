@@ -1,0 +1,74 @@
+package genome
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ReadPair is a paired-end fragment: R1 from the forward strand of the
+// fragment, R2 from the reverse strand of its far end (FR orientation,
+// the standard Illumina library layout).
+type ReadPair struct {
+	R1, R2 Read
+	// TrueInsert is the simulated outer fragment length.
+	TrueInsert int
+}
+
+// PairConfig extends the read simulator with an insert-size model.
+type PairConfig struct {
+	SimulatorConfig
+	// InsertMean and InsertSD describe the outer fragment length
+	// (typical Illumina: 350 +- 50).
+	InsertMean, InsertSD float64
+}
+
+// DefaultPairConfig returns a 2x101 bp library with 350+-50 inserts.
+func DefaultPairConfig(seed int64) PairConfig {
+	return PairConfig{SimulatorConfig: ShortReadConfig(seed), InsertMean: 350, InsertSD: 50}
+}
+
+// SimulatePairs samples n read pairs from the reference.
+func SimulatePairs(ref *Reference, n int, cfg PairConfig) []ReadPair {
+	if cfg.ReadLen <= 0 {
+		panic("genome: PairConfig.ReadLen must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	maxInsert := int(cfg.InsertMean + 4*cfg.InsertSD)
+	if len(ref.Seq) < maxInsert+2 {
+		panic(fmt.Sprintf("genome: reference (%d bp) shorter than max insert %d", len(ref.Seq), maxInsert))
+	}
+	pairs := make([]ReadPair, n)
+	for i := range pairs {
+		insert := int(cfg.InsertMean + rng.NormFloat64()*cfg.InsertSD)
+		if insert < cfg.ReadLen {
+			insert = cfg.ReadLen
+		}
+		if insert > maxInsert {
+			insert = maxInsert
+		}
+		pos := rng.Intn(len(ref.Seq) - insert - 1)
+
+		// R1: forward strand at the fragment start.
+		frag1 := ref.Seq[pos : pos+cfg.ReadLen+1]
+		r1 := applyErrors(rng, frag1.Clone(), cfg.SimulatorConfig)
+		// R2: reverse strand at the fragment end.
+		end := pos + insert
+		frag2 := ref.Seq[end-cfg.ReadLen-1 : end]
+		r2 := applyErrors(rng, frag2.RevComp(), cfg.SimulatorConfig)
+
+		qual := func() []byte {
+			q := make([]byte, cfg.ReadLen)
+			for k := range q {
+				q[k] = byte('!' + 30 + rng.Intn(10))
+			}
+			return q
+		}
+		name := fmt.Sprintf("%s_pair_%d_%d", ref.Name, pos, i)
+		pairs[i] = ReadPair{
+			R1:         Read{ID: 2 * i, Name: name + "/1", Seq: r1, Qual: qual(), TruePos: pos, TrueRev: false},
+			R2:         Read{ID: 2*i + 1, Name: name + "/2", Seq: r2, Qual: qual(), TruePos: end - cfg.ReadLen, TrueRev: true},
+			TrueInsert: insert,
+		}
+	}
+	return pairs
+}

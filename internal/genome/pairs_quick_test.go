@@ -1,0 +1,98 @@
+package genome
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPairInsertDistribution(t *testing.T) {
+	ref := Generate(HumanLike(), 60000, 101)
+	cfg := DefaultPairConfig(102)
+	pairs := SimulatePairs(ref, 600, cfg)
+	var sum, sum2 float64
+	for _, p := range pairs {
+		v := float64(p.TrueInsert)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(len(pairs))
+	sd := math.Sqrt(sum2/float64(len(pairs)) - mean*mean)
+	if math.Abs(mean-cfg.InsertMean) > 10 {
+		t.Errorf("insert mean %.1f, want ~%.0f", mean, cfg.InsertMean)
+	}
+	if sd < cfg.InsertSD*0.7 || sd > cfg.InsertSD*1.3 {
+		t.Errorf("insert sd %.1f, want ~%.0f", sd, cfg.InsertSD)
+	}
+}
+
+func TestPairFragmentsMatchReference(t *testing.T) {
+	// With zero error rates, R1 equals the fragment start and R2 the
+	// reverse complement of the fragment end, exactly.
+	ref := Generate(HumanLike(), 50000, 103)
+	cfg := DefaultPairConfig(104)
+	cfg.SubRate, cfg.InsRate, cfg.DelRate = 0, 0, 0
+	pairs := SimulatePairs(ref, 50, cfg)
+	for i, p := range pairs {
+		want1 := ref.Seq[p.R1.TruePos : p.R1.TruePos+cfg.ReadLen]
+		if !p.R1.Seq.Equal(want1) {
+			t.Fatalf("pair %d: R1 does not match reference", i)
+		}
+		want2 := ref.Seq[p.R2.TruePos : p.R2.TruePos+cfg.ReadLen].RevComp()
+		if !p.R2.Seq.Equal(want2) {
+			t.Fatalf("pair %d: R2 does not match revcomp of reference", i)
+		}
+	}
+}
+
+func TestSimulatePairsPanics(t *testing.T) {
+	ref := Generate(HumanLike(), 400, 105)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic: reference shorter than max insert")
+		}
+	}()
+	SimulatePairs(ref, 1, DefaultPairConfig(1))
+}
+
+func TestGenerateProfilesAreDistinct(t *testing.T) {
+	// The Fig. 14 species proxies must produce genuinely different
+	// sequences and different repeat statistics under the same seed.
+	profiles := []Profile{HumanLike(), ClitarchusLike, ZapusLike, CamelusLike, VenustaLike, ElegansLike}
+	seen := map[string]string{}
+	for _, p := range profiles {
+		ref := Generate(p, 20000, 7)
+		head := ref.Seq[:200].String()
+		if other, dup := seen[head]; dup {
+			t.Fatalf("profiles %s and %s generated identical sequence", p.Name, other)
+		}
+		seen[head] = p.Name
+	}
+}
+
+func TestFragmentFractionDrivesMultiMapping(t *testing.T) {
+	// More repeat fragments must produce more multi-chain reads — the
+	// knob behind the short-hit mass of the Fig. 9(a) distribution.
+	base := HumanLike()
+	none := base
+	none.FragmentFraction = 0
+	none.InterspersedFraction = 0
+	refFrag := Generate(base, 60000, 9)
+	refNone := Generate(none, 60000, 9)
+	k := 16
+	count := func(ref *Reference) int {
+		counts := map[string]int{}
+		for i := 0; i+k <= len(ref.Seq); i += 4 {
+			counts[ref.Seq[i:i+k].String()]++
+		}
+		multi := 0
+		for _, c := range counts {
+			if c > 2 {
+				multi++
+			}
+		}
+		return multi
+	}
+	if count(refFrag) <= count(refNone)*2 {
+		t.Errorf("fragments did not raise k-mer multiplicity: %d vs %d", count(refFrag), count(refNone))
+	}
+}

@@ -1,0 +1,148 @@
+// Package mem models the accelerator's memory system: an HBM 1.0
+// off-chip channel/bank model with row-buffer locality and bandwidth
+// queueing (standing in for the paper's Ramulator integration), and
+// on-chip scratchpad memories (SPM). Energy is accounted at the
+// paper's 7 pJ/bit for HBM accesses.
+package mem
+
+// HBMConfig describes the off-chip memory. Defaults follow the
+// paper's Table I (HBM 1.0, 256 GB/s at a 1 GHz core clock).
+type HBMConfig struct {
+	// Channels is the number of independent HBM channels.
+	Channels int
+	// BanksPerChannel is the number of banks per channel.
+	BanksPerChannel int
+	// RowBytes is the row-buffer size per bank.
+	RowBytes int
+	// RowHitLatency is the access latency in core cycles on a row hit.
+	RowHitLatency int64
+	// RowMissLatency is the latency on a row-buffer miss (precharge +
+	// activate + CAS).
+	RowMissLatency int64
+	// BytesPerCycle is the per-channel data-bus throughput in bytes per
+	// core cycle.
+	BytesPerCycle int
+	// EnergyPerBit is the access energy in picojoules per bit.
+	EnergyPerBit float64
+}
+
+// HBM1 returns the paper's HBM 1.0 configuration: 8 channels x 32 B/cy
+// = 256 GB/s at 1 GHz, 7 pJ/bit.
+func HBM1() HBMConfig {
+	return HBMConfig{
+		Channels:        8,
+		BanksPerChannel: 16,
+		RowBytes:        2048,
+		RowHitLatency:   40,
+		RowMissLatency:  80,
+		BytesPerCycle:   32,
+		EnergyPerBit:    7,
+	}
+}
+
+// Stats aggregates memory-system counters.
+type Stats struct {
+	Accesses  int64
+	RowHits   int64
+	RowMisses int64
+	Bytes     int64
+	// EnergyPJ is the access energy in picojoules.
+	EnergyPJ float64
+}
+
+// HBM is a bank-level off-chip memory model. It is not safe for
+// concurrent use; the simulation engine is single-threaded.
+type HBM struct {
+	cfg   HBMConfig
+	banks []bank
+	stats Stats
+}
+
+type bank struct {
+	nextFree int64
+	openRow  int64
+	hasRow   bool
+}
+
+// NewHBM builds the memory model from cfg.
+func NewHBM(cfg HBMConfig) *HBM {
+	if cfg.Channels <= 0 || cfg.BanksPerChannel <= 0 || cfg.RowBytes <= 0 || cfg.BytesPerCycle <= 0 {
+		panic("mem: invalid HBMConfig")
+	}
+	return &HBM{cfg: cfg, banks: make([]bank, cfg.Channels*cfg.BanksPerChannel)}
+}
+
+// Access models a read or write of size bytes at addr issued at cycle
+// now, returning the completion cycle. Requests to a busy bank queue
+// behind it; row-buffer state determines the access latency; the data
+// burst occupies the bank for bytes/BytesPerCycle cycles.
+func (m *HBM) Access(now int64, addr int64, bytes int) int64 {
+	if bytes <= 0 {
+		bytes = 1
+	}
+	row := addr / int64(m.cfg.RowBytes)
+	// Interleave rows across channels then banks.
+	b := &m.banks[int(row)%len(m.banks)]
+
+	start := now
+	if b.nextFree > start {
+		start = b.nextFree
+	}
+	var lat int64
+	if b.hasRow && b.openRow == row {
+		lat = m.cfg.RowHitLatency
+		m.stats.RowHits++
+	} else {
+		lat = m.cfg.RowMissLatency
+		m.stats.RowMisses++
+		b.openRow = row
+		b.hasRow = true
+	}
+	burst := int64((bytes + m.cfg.BytesPerCycle - 1) / m.cfg.BytesPerCycle)
+	done := start + lat + burst
+	b.nextFree = start + burst // bus occupancy; latency overlaps pipelined
+
+	m.stats.Accesses++
+	m.stats.Bytes += int64(bytes)
+	m.stats.EnergyPJ += float64(bytes*8) * m.cfg.EnergyPerBit
+	return done
+}
+
+// Stats returns a copy of the accumulated counters.
+func (m *HBM) Stats() Stats { return m.stats }
+
+// SPMConfig describes an on-chip scratchpad.
+type SPMConfig struct {
+	// Bytes is the capacity.
+	Bytes int
+	// Latency is the access latency in cycles.
+	Latency int64
+	// EnergyPerAccessPJ is the per-access energy in picojoules.
+	EnergyPerAccessPJ float64
+}
+
+// SPM is a scratchpad memory model: fixed latency, capacity checked by
+// the caller, energy accounted per access.
+type SPM struct {
+	cfg      SPMConfig
+	accesses int64
+}
+
+// NewSPM builds a scratchpad from cfg.
+func NewSPM(cfg SPMConfig) *SPM { return &SPM{cfg: cfg} }
+
+// Access charges one scratchpad access issued at cycle now and returns
+// the completion cycle.
+func (s *SPM) Access(now int64) int64 {
+	s.accesses++
+	return now + s.cfg.Latency
+}
+
+// Accesses returns the access count.
+func (s *SPM) Accesses() int64 { return s.accesses }
+
+// EnergyPJ returns the accumulated access energy in picojoules.
+func (s *SPM) EnergyPJ() float64 { return float64(s.accesses) * s.cfg.EnergyPerAccessPJ }
+
+// Capacity returns the scratchpad size in bytes.
+func (s *SPM) Capacity() int { return s.cfg.Bytes }

@@ -1,0 +1,236 @@
+// Package minimizer implements (w,k)-minimizer sketching, the seeding
+// structure of the 3rd-generation long-read aligners (minimap2) the
+// paper's Sec. VI discusses: NvWa's unified interface is meant to host
+// such seed-and-chain-then-fill pipelines unchanged. The package
+// provides canonical minimizer extraction, a position index, and the
+// colinear anchor chaining those aligners use.
+package minimizer
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Anchor is one minimizer occurrence.
+type Anchor struct {
+	// Pos is the k-mer's start position in its sequence.
+	Pos int
+	// Hash is the minimizer's hashed canonical k-mer value.
+	Hash uint64
+	// Rev marks that the canonical form is the reverse complement.
+	Rev bool
+}
+
+// hash64 is the invertible finaliser minimap2 uses (Thomas Wang).
+func hash64(key, mask uint64) uint64 {
+	key = (^key + (key << 21)) & mask
+	key = key ^ key>>24
+	key = (key + (key << 3) + (key << 8)) & mask
+	key = key ^ key>>14
+	key = (key + (key << 2) + (key << 4)) & mask
+	key = key ^ key>>28
+	key = (key + (key << 31)) & mask
+	return key
+}
+
+// Minimizers returns the (w,k)-minimizers of s: for every window of w
+// consecutive k-mers, the k-mer with the smallest hashed canonical
+// value (ties keep all distinct positions, as minimap2 does).
+func Minimizers(s []byte, w, k int) ([]Anchor, error) {
+	if k < 1 || k > 28 {
+		return nil, fmt.Errorf("minimizer: k=%d out of [1,28]", k)
+	}
+	if w < 1 {
+		return nil, fmt.Errorf("minimizer: w=%d out of range", w)
+	}
+	n := len(s)
+	if n < k {
+		return nil, nil
+	}
+	mask := uint64(1)<<(2*k) - 1
+	shift := uint64(2 * (k - 1))
+
+	type kmer struct {
+		hash uint64
+		pos  int
+		rev  bool
+	}
+	kmers := make([]kmer, 0, n-k+1)
+	var fwd, rev uint64
+	for i := 0; i < n; i++ {
+		c := uint64(s[i] & 3)
+		fwd = ((fwd << 2) | c) & mask
+		rev = (rev >> 2) | ((3 - c) << shift)
+		if i < k-1 {
+			continue
+		}
+		// Canonical form: the smaller of the k-mer and its revcomp;
+		// palindromic k-mers are skipped (strand-ambiguous), like
+		// minimap2.
+		switch {
+		case fwd < rev:
+			kmers = append(kmers, kmer{hash64(fwd, mask), i - k + 1, false})
+		case rev < fwd:
+			kmers = append(kmers, kmer{hash64(rev, mask), i - k + 1, true})
+		default:
+			kmers = append(kmers, kmer{^uint64(0), i - k + 1, false}) // never selected
+		}
+	}
+
+	var out []Anchor
+	lastPos := -1
+	for win := 0; win+w <= len(kmers); win++ {
+		best := win
+		for j := win + 1; j < win+w; j++ {
+			if kmers[j].hash < kmers[best].hash {
+				best = j
+			}
+		}
+		if kmers[best].hash == ^uint64(0) {
+			continue
+		}
+		if kmers[best].pos != lastPos {
+			out = append(out, Anchor{Pos: kmers[best].pos, Hash: kmers[best].hash, Rev: kmers[best].rev})
+			lastPos = kmers[best].pos
+		}
+	}
+	return out, nil
+}
+
+// Index maps minimizer hashes to reference anchors.
+type Index struct {
+	w, k    int
+	entries map[uint64][]Anchor
+	textLen int
+}
+
+// NewIndex sketches the reference.
+func NewIndex(ref []byte, w, k int) (*Index, error) {
+	ms, err := Minimizers(ref, w, k)
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{w: w, k: k, entries: make(map[uint64][]Anchor), textLen: len(ref)}
+	for _, m := range ms {
+		idx.entries[m.Hash] = append(idx.entries[m.Hash], m)
+	}
+	return idx, nil
+}
+
+// Sketched returns the number of distinct minimizers indexed.
+func (x *Index) Sketched() int { return len(x.entries) }
+
+// Hit pairs a read anchor with a reference anchor of the same
+// minimizer.
+type Hit struct {
+	ReadPos, RefPos int
+	// Rev marks opposite-strand pairing.
+	Rev bool
+}
+
+// Query sketches the read and returns all matching anchor pairs,
+// skipping minimizers with more than maxOcc reference occurrences.
+func (x *Index) Query(read []byte, maxOcc int) ([]Hit, error) {
+	ms, err := Minimizers(read, x.w, x.k)
+	if err != nil {
+		return nil, err
+	}
+	var out []Hit
+	for _, m := range ms {
+		refs := x.entries[m.Hash]
+		if maxOcc > 0 && len(refs) > maxOcc {
+			continue
+		}
+		for _, r := range refs {
+			out = append(out, Hit{ReadPos: m.Pos, RefPos: r.Pos, Rev: m.Rev != r.Rev})
+		}
+	}
+	return out, nil
+}
+
+// Chain is a colinear anchor chain.
+type Chain struct {
+	// Hits are the chained anchors in read order.
+	Hits []Hit
+	// Score is the chaining score (anchors minus gap penalties).
+	Score int
+}
+
+// ChainHits performs minimap2-style colinear chaining with O(n^2) DP:
+// anchors must increase in both read and reference coordinate (same
+// strand), and diagonal drift is penalised. maxGap bounds the distance
+// between chained anchors.
+func ChainHits(hits []Hit, maxGap int) []Chain {
+	if len(hits) == 0 {
+		return nil
+	}
+	// Separate strands, sort by (refPos, readPos).
+	var chains []Chain
+	for _, rev := range []bool{false, true} {
+		var hs []Hit
+		for _, h := range hits {
+			if h.Rev == rev {
+				hs = append(hs, h)
+			}
+		}
+		if len(hs) == 0 {
+			continue
+		}
+		sort.Slice(hs, func(i, j int) bool {
+			if hs[i].RefPos != hs[j].RefPos {
+				return hs[i].RefPos < hs[j].RefPos
+			}
+			return hs[i].ReadPos < hs[j].ReadPos
+		})
+		score := make([]int, len(hs))
+		parent := make([]int, len(hs))
+		for i := range hs {
+			score[i] = 1
+			parent[i] = -1
+			for j := i - 1; j >= 0; j-- {
+				dr := hs[i].RefPos - hs[j].RefPos
+				dq := hs[i].ReadPos - hs[j].ReadPos
+				if dr <= 0 || dq <= 0 || dr > maxGap || dq > maxGap {
+					continue
+				}
+				drift := dr - dq
+				if drift < 0 {
+					drift = -drift
+				}
+				s := score[j] + 1 - drift/16
+				if s > score[i] {
+					score[i] = s
+					parent[i] = j
+				}
+			}
+		}
+		// Extract the best chain per connected run (greedy: best first,
+		// mark used, repeat).
+		used := make([]bool, len(hs))
+		for {
+			best, bestScore := -1, 1
+			for i := range hs {
+				if !used[i] && score[i] > bestScore {
+					best, bestScore = i, score[i]
+				}
+			}
+			if best == -1 {
+				break
+			}
+			var path []Hit
+			for i := best; i != -1; i = parent[i] {
+				if used[i] {
+					break
+				}
+				used[i] = true
+				path = append(path, hs[i])
+			}
+			for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+				path[l], path[r] = path[r], path[l]
+			}
+			chains = append(chains, Chain{Hits: path, Score: bestScore})
+		}
+	}
+	sort.SliceStable(chains, func(i, j int) bool { return chains[i].Score > chains[j].Score })
+	return chains
+}

@@ -1,0 +1,213 @@
+package minimizer
+
+import (
+	"math/rand"
+	"testing"
+
+	"nvwa/internal/genome"
+	"nvwa/internal/seq"
+)
+
+func randSeq(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte(rng.Intn(4))
+	}
+	return s
+}
+
+func TestMinimizersWindowGuarantee(t *testing.T) {
+	// Every w-window of k-mers must contain at least one selected
+	// minimizer (the defining property of the sketch).
+	rng := rand.New(rand.NewSource(1))
+	w, k := 10, 15
+	s := randSeq(rng, 2000)
+	ms, err := Minimizers(s, w, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Fatal("no minimizers")
+	}
+	selected := map[int]bool{}
+	for _, m := range ms {
+		selected[m.Pos] = true
+		if m.Pos < 0 || m.Pos+k > len(s) {
+			t.Fatalf("minimizer out of range: %+v", m)
+		}
+	}
+	for win := 0; win+w+k-1 <= len(s); win++ {
+		ok := false
+		for p := win; p < win+w; p++ {
+			if selected[p] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("window starting at %d has no minimizer", win)
+		}
+	}
+}
+
+func TestMinimizersDensity(t *testing.T) {
+	// Expected density is ~2/(w+1); allow generous bounds.
+	rng := rand.New(rand.NewSource(2))
+	w, k := 10, 15
+	s := randSeq(rng, 20000)
+	ms, _ := Minimizers(s, w, k)
+	density := float64(len(ms)) / float64(len(s))
+	if density < 1.0/(2*float64(w)) || density > 4.0/float64(w) {
+		t.Errorf("density = %.4f, expected near %.4f", density, 2.0/float64(w+1))
+	}
+}
+
+func TestMinimizersStrandCanonical(t *testing.T) {
+	// A sequence and its reverse complement share the same canonical
+	// minimizer hashes.
+	rng := rand.New(rand.NewSource(3))
+	s := seq.Seq(randSeq(rng, 500))
+	rc := s.RevComp()
+	a, _ := Minimizers(s, 5, 15)
+	b, _ := Minimizers(rc, 5, 15)
+	setA := map[uint64]bool{}
+	for _, m := range a {
+		setA[m.Hash] = true
+	}
+	common := 0
+	for _, m := range b {
+		if setA[m.Hash] {
+			common++
+		}
+	}
+	if common < len(b)*7/10 {
+		t.Errorf("only %d/%d reverse-complement minimizers shared", common, len(b))
+	}
+}
+
+func TestMinimizersValidation(t *testing.T) {
+	if _, err := Minimizers([]byte{0}, 5, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Minimizers([]byte{0}, 0, 15); err == nil {
+		t.Error("w=0 accepted")
+	}
+	if ms, err := Minimizers([]byte{0, 1}, 5, 15); err != nil || ms != nil {
+		t.Error("short sequence should return nil, nil")
+	}
+}
+
+func TestIndexQueryFindsTrueLocus(t *testing.T) {
+	ref := genome.Generate(genome.HumanLike(), 60000, 4)
+	idx, err := NewIndex(ref.Seq, 10, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Sketched() == 0 {
+		t.Fatal("empty index")
+	}
+	reads := genome.Simulate(ref, 30, genome.LongReadConfig(5))
+	found := 0
+	for _, r := range reads {
+		hits, err := idx.Query(r.Seq, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range hits {
+			if !h.Rev == !r.TrueRev && abs(h.RefPos-h.ReadPos-r.TruePos) < 200 {
+				found++
+				break
+			}
+			if h.Rev != !r.TrueRev && h.Rev && abs(h.RefPos-(r.TruePos+len(r.Seq)-h.ReadPos)) < 1200 {
+				// reverse-strand anchors: coarse locality check
+				found++
+				break
+			}
+		}
+	}
+	if found < 24 {
+		t.Errorf("anchors found the true locus for only %d/30 long reads", found)
+	}
+}
+
+func TestChainHitsRecoversColinearRun(t *testing.T) {
+	// Construct anchors: a colinear run plus random noise; the top
+	// chain must be the run.
+	rng := rand.New(rand.NewSource(6))
+	var hits []Hit
+	for i := 0; i < 20; i++ {
+		hits = append(hits, Hit{ReadPos: 100 + i*50, RefPos: 5000 + i*50 + rng.Intn(5)})
+	}
+	for i := 0; i < 30; i++ {
+		hits = append(hits, Hit{ReadPos: rng.Intn(1000), RefPos: rng.Intn(100000)})
+	}
+	chains := ChainHits(hits, 500)
+	if len(chains) == 0 {
+		t.Fatal("no chains")
+	}
+	top := chains[0]
+	if len(top.Hits) < 15 {
+		t.Fatalf("top chain has %d anchors, want the 20-anchor run", len(top.Hits))
+	}
+	for i := 1; i < len(top.Hits); i++ {
+		if top.Hits[i].ReadPos <= top.Hits[i-1].ReadPos || top.Hits[i].RefPos <= top.Hits[i-1].RefPos {
+			t.Fatal("top chain not colinear")
+		}
+	}
+}
+
+func TestChainHitsStrandSeparation(t *testing.T) {
+	hits := []Hit{
+		{ReadPos: 10, RefPos: 100}, {ReadPos: 20, RefPos: 110},
+		{ReadPos: 30, RefPos: 200, Rev: true}, {ReadPos: 40, RefPos: 210, Rev: true},
+	}
+	chains := ChainHits(hits, 100)
+	for _, c := range chains {
+		rev := c.Hits[0].Rev
+		for _, h := range c.Hits {
+			if h.Rev != rev {
+				t.Fatal("chain mixes strands")
+			}
+		}
+	}
+	if ChainHits(nil, 100) != nil {
+		t.Error("empty input should chain to nil")
+	}
+}
+
+func TestLongReadEndToEndSketchChain(t *testing.T) {
+	// The seed-and-chain-then-fill front end on a simulated long read:
+	// sketch, query, chain — the best chain's diagonal must sit at the
+	// read's true locus.
+	ref := genome.Generate(genome.HumanLike(), 80000, 7)
+	idx, _ := NewIndex(ref.Seq, 10, 15)
+	reads := genome.Simulate(ref, 20, genome.LongReadConfig(8))
+	good := 0
+	for _, r := range reads {
+		q := seq.Seq(r.Seq)
+		if r.TrueRev {
+			// Query with the oriented read so forward chains dominate.
+			q = q.RevComp()
+		}
+		hits, _ := idx.Query(q, 64)
+		chains := ChainHits(hits, 2000)
+		if len(chains) == 0 {
+			continue
+		}
+		top := chains[0]
+		d := top.Hits[0].RefPos - top.Hits[0].ReadPos
+		if abs(d-r.TruePos) < 100 {
+			good++
+		}
+	}
+	if good < 15 {
+		t.Errorf("top chain at true locus for only %d/20 long reads", good)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,119 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"nvwa/internal/align"
+	"nvwa/internal/minimizer"
+	"nvwa/internal/seq"
+)
+
+// LongReadAligner is the seed-and-chain-then-fill pipeline of the
+// paper's Sec. VI long-read discussion, assembled from the same
+// substrates the short-read path uses: (w,k)-minimizer sketching,
+// colinear chaining, and Darwin-GACT tiled fill — the constant-memory
+// extension the paper's EUs use for reads beyond the array size.
+type LongReadAligner struct {
+	ref     seq.Seq
+	idx     *minimizer.Index
+	w, k    int
+	scoring align.Scoring
+	// Tile and Overlap configure the GACT fill.
+	Tile, Overlap int
+	// MaxOcc masks repetitive minimizers.
+	MaxOcc int
+}
+
+// NewLongReadAligner sketches the reference.
+func NewLongReadAligner(ref seq.Seq, w, k int) (*LongReadAligner, error) {
+	idx, err := minimizer.NewIndex(ref, w, k)
+	if err != nil {
+		return nil, err
+	}
+	return &LongReadAligner{
+		ref: ref, idx: idx, w: w, k: k,
+		scoring: align.BWAMEM(),
+		Tile:    320, Overlap: 64, MaxOcc: 64,
+	}, nil
+}
+
+// Align maps one long read: sketch, chain, fill.
+func (l *LongReadAligner) Align(read seq.Seq) Result {
+	var res Result
+	hits, err := l.idx.Query(read, l.MaxOcc)
+	if err != nil || len(hits) == 0 {
+		return res
+	}
+	L := len(read)
+	for i := range hits {
+		if hits[i].Rev {
+			hits[i].ReadPos = L - l.k - hits[i].ReadPos
+		}
+	}
+	chains := minimizer.ChainHits(hits, 2*L)
+	if len(chains) == 0 {
+		return res
+	}
+	// Fill the best few chains and keep the top score.
+	tried := 0
+	for _, c := range chains {
+		if tried >= 3 {
+			break
+		}
+		tried++
+		rev := c.Hits[0].Rev
+		oriented := read
+		if rev {
+			oriented = read.RevComp()
+		}
+		// Anchor the fill at the chain's projected read start, so the
+		// window's origin corresponds to the read's first base.
+		diag := c.Hits[0].RefPos - c.Hits[0].ReadPos
+		lo := diag
+		if lo < 0 {
+			lo = 0
+		}
+		hi := diag + L + l.Overlap
+		if hi > len(l.ref) {
+			hi = len(l.ref)
+		}
+		if hi-lo < l.k {
+			continue
+		}
+		score, re, _ := align.GACTExtend(l.ref[lo:hi], oriented, l.scoring, 0, l.Tile, l.Overlap/2)
+		if score > res.Score {
+			res = Result{
+				Found:  true,
+				Score:  score,
+				RefBeg: lo,
+				RefEnd: lo + re,
+				Rev:    rev,
+				Hits:   len(chains),
+			}
+		}
+	}
+	return res
+}
+
+// AlignAll maps a read set and reports aggregate accuracy against the
+// simulator's ground truth positions (negative truth entries are
+// skipped).
+func (l *LongReadAligner) AlignAll(reads []seq.Seq, truth []int) (results []Result, correct int, err error) {
+	if truth != nil && len(truth) != len(reads) {
+		return nil, 0, fmt.Errorf("pipeline: %d truth entries for %d reads", len(truth), len(reads))
+	}
+	results = make([]Result, len(reads))
+	for i, r := range reads {
+		results[i] = l.Align(r)
+		if truth != nil && truth[i] >= 0 && results[i].Found {
+			d := results[i].RefBeg - truth[i]
+			if d < 0 {
+				d = -d
+			}
+			if d <= l.Tile {
+				correct++
+			}
+		}
+	}
+	return results, correct, nil
+}

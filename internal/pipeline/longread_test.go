@@ -1,0 +1,83 @@
+package pipeline
+
+import (
+	"testing"
+
+	"nvwa/internal/genome"
+	"nvwa/internal/seq"
+)
+
+func TestLongReadAlignerAccuracy(t *testing.T) {
+	ref := genome.Generate(genome.HumanLike(), 120000, 201)
+	l, err := NewLongReadAligner(ref.Seq, 10, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := genome.Simulate(ref, 60, genome.LongReadConfig(202))
+	reads := make([]seq.Seq, len(recs))
+	truth := make([]int, len(recs))
+	for i, r := range recs {
+		reads[i] = r.Seq
+		truth[i] = r.TruePos
+	}
+	results, correct, err := l.AlignAll(reads, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, r := range results {
+		if r.Found {
+			found++
+			if r.RefBeg < 0 || r.RefEnd > len(ref.Seq) || r.RefBeg >= r.RefEnd {
+				t.Fatalf("bad span [%d,%d)", r.RefBeg, r.RefEnd)
+			}
+		}
+	}
+	if found < 55 {
+		t.Errorf("mapped only %d/60 long reads", found)
+	}
+	if correct < 50 {
+		t.Errorf("correct locus for only %d/60 long reads", correct)
+	}
+}
+
+func TestLongReadAlignerScoresScaleWithLength(t *testing.T) {
+	// A 1 kbp read at 5% sub + 2%+2% indel error should still recover
+	// the majority of its bases as matches.
+	ref := genome.Generate(genome.HumanLike(), 80000, 203)
+	l, err := NewLongReadAligner(ref.Seq, 10, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := genome.Simulate(ref, 20, genome.LongReadConfig(204))
+	low := 0
+	for _, r := range recs {
+		res := l.Align(r.Seq)
+		if !res.Found {
+			continue
+		}
+		if res.Score < len(r.Seq)/3 {
+			low++
+		}
+	}
+	// A couple of reads may land in repeats or accumulate pathological
+	// indel clusters; the bulk must recover at least a third of their
+	// length in score.
+	if low > 3 {
+		t.Errorf("%d/20 long reads scored below length/3", low)
+	}
+}
+
+func TestLongReadAlignerGarbage(t *testing.T) {
+	ref := genome.Generate(genome.HumanLike(), 40000, 205)
+	l, _ := NewLongReadAligner(ref.Seq, 10, 15)
+	junk := make(seq.Seq, 1000) // poly-A
+	res := l.Align(junk)
+	// Poly-A may hit tandem repeats; just require sane behaviour.
+	if res.Found && (res.RefBeg < 0 || res.RefEnd > len(ref.Seq)) {
+		t.Error("garbage alignment out of range")
+	}
+	if _, _, err := l.AlignAll(make([]seq.Seq, 2), []int{1}); err == nil {
+		t.Error("mismatched truth length accepted")
+	}
+}

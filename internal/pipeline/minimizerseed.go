@@ -1,0 +1,106 @@
+package pipeline
+
+import (
+	"sort"
+
+	"nvwa/internal/core"
+	"nvwa/internal/fmindex"
+	"nvwa/internal/minimizer"
+	"nvwa/internal/seq"
+)
+
+// MinimizerSeeder is an alternative seeding front end: minimap2-style
+// (w,k)-minimizer anchoring plus colinear chaining — the
+// seed-and-chain(-then-fill) paradigm of the paper's Sec. VI. It
+// produces the same core.Hit records as the FM-index front end, so the
+// NvWa schedulers and extension units host it unchanged through the
+// Table III unified interface.
+type MinimizerSeeder struct {
+	idx  *minimizer.Index
+	opts Options
+	w, k int
+	ref  seq.Seq
+}
+
+// NewMinimizerSeeder sketches the aligner's reference with (w,k)
+// minimizers.
+func NewMinimizerSeeder(a *Aligner, w, k int) (*MinimizerSeeder, error) {
+	idx, err := minimizer.NewIndex(a.Ref(), w, k)
+	if err != nil {
+		return nil, err
+	}
+	return &MinimizerSeeder{idx: idx, opts: a.Options(), w: w, k: k, ref: a.Ref()}, nil
+}
+
+// SeedAndChain anchors and chains one read. The returned traffic
+// counts model the sketch pipeline (one table access per read k-mer)
+// and the anchor fetches (one position-list access per anchor, served
+// from DRAM like Darwin's position table).
+func (m *MinimizerSeeder) SeedAndChain(readIdx int, read seq.Seq) ([]core.Hit, fmindex.Stats) {
+	var st fmindex.Stats
+	if len(read) < m.k {
+		return nil, st
+	}
+	st.OccAccesses = len(read) - m.k + 1 // sketch pipeline table reads
+	hits, err := m.idx.Query(read, m.opts.MaxOcc)
+	if err != nil {
+		return nil, st
+	}
+	st.SALookups = len(hits)
+	L := len(read)
+	// Convert reverse-strand anchors to oriented-read coordinates
+	// before chaining: read [p, p+k) matching reverse-complemented
+	// covers oriented-read [L-p-k, L-p), and in that frame colinearity
+	// is increasing in both coordinates, as ChainHits requires.
+	for i := range hits {
+		if hits[i].Rev {
+			hits[i].ReadPos = L - m.k - hits[i].ReadPos
+		}
+	}
+	chains := minimizer.ChainHits(hits, 4*len(read))
+
+	var out []core.Hit
+	for _, c := range chains {
+		if len(out) >= m.opts.MaxChains {
+			break
+		}
+		rev := c.Hits[0].Rev
+		// Chain extent in oriented-read and reference coordinates.
+		rBeg, rEnd := c.Hits[0].ReadPos, c.Hits[len(c.Hits)-1].ReadPos+m.k
+		refBeg := c.Hits[0].RefPos
+		refEnd := c.Hits[len(c.Hits)-1].RefPos + m.k
+		if rEnd > L {
+			rEnd = L
+		}
+		weight := len(c.Hits) * m.k
+		if weight > rEnd-rBeg {
+			weight = rEnd - rBeg
+		}
+		if weight < m.opts.MinChainWeight {
+			continue
+		}
+		if refEnd-refBeg <= 0 || refEnd > len(m.ref) {
+			continue
+		}
+		anchor := weight*m.opts.Scoring.Match - (rEnd-rBeg-weight)*m.opts.Scoring.Mismatch
+		if anchor < m.opts.Scoring.Match {
+			anchor = m.opts.Scoring.Match
+		}
+		out = append(out, core.Hit{
+			ReadIdx:   readIdx,
+			HitIdx:    len(out),
+			Rev:       rev,
+			ReadBeg:   rBeg,
+			ReadEnd:   rEnd,
+			RefPos:    refBeg,
+			ReadLen:   L,
+			SeedScore: anchor,
+		})
+	}
+	// Deterministic ordering for tie-breaks.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].SeedScore > out[j].SeedScore })
+	for i := range out {
+		out[i].HitIdx = i
+	}
+	return out, st
+}

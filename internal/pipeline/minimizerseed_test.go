@@ -1,0 +1,85 @@
+package pipeline
+
+import (
+	"testing"
+
+	"nvwa/internal/genome"
+)
+
+func TestMinimizerSeederHitInvariants(t *testing.T) {
+	a, ref := testAligner(t, 60000, 91)
+	ms, err := NewMinimizerSeeder(a, 5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := genome.Simulate(ref, 60, genome.ShortReadConfig(92))
+	for _, r := range reads {
+		hits, st := ms.SeedAndChain(r.ID, r.Seq)
+		if st.OccAccesses == 0 {
+			t.Fatal("no sketch traffic recorded")
+		}
+		for _, h := range hits {
+			if h.ReadBeg < 0 || h.ReadEnd > len(r.Seq) || h.ReadBeg >= h.ReadEnd {
+				t.Fatalf("bad read span [%d,%d)", h.ReadBeg, h.ReadEnd)
+			}
+			if h.RefPos < 0 || h.RefPos >= len(ref.Seq) {
+				t.Fatalf("bad ref pos %d", h.RefPos)
+			}
+			if h.ReadLen != len(r.Seq) || h.SeedScore <= 0 {
+				t.Fatalf("bad hit metadata %+v", h)
+			}
+		}
+		if len(hits) > a.Options().MaxChains {
+			t.Fatalf("%d hits exceed MaxChains", len(hits))
+		}
+	}
+}
+
+func TestMinimizerSeederFindsTrueLocusBothStrands(t *testing.T) {
+	a, ref := testAligner(t, 60000, 93)
+	ms, err := NewMinimizerSeeder(a, 5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := genome.Simulate(ref, 100, genome.ShortReadConfig(94))
+	correct := 0
+	revSeen := false
+	for _, r := range reads {
+		hits, _ := ms.SeedAndChain(r.ID, r.Seq)
+		res := a.Finish(r.Seq, hits)
+		if res.Found && res.Rev {
+			revSeen = true
+		}
+		if res.Found && abs(res.RefBeg-r.TruePos) <= 20 {
+			correct++
+		}
+	}
+	if correct < 80 {
+		t.Errorf("true locus recovered for only %d/100 reads", correct)
+	}
+	if !revSeen {
+		t.Error("no reverse-strand alignments at all")
+	}
+}
+
+func TestMinimizerSeederShortRead(t *testing.T) {
+	a, _ := testAligner(t, 30000, 95)
+	ms, err := NewMinimizerSeeder(a, 5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, st := ms.SeedAndChain(0, []byte{0, 1, 2})
+	if hits != nil || st.OccAccesses != 0 {
+		t.Error("read shorter than k should produce nothing")
+	}
+}
+
+func TestMinimizerSeederBadParams(t *testing.T) {
+	a, _ := testAligner(t, 30000, 97)
+	if _, err := NewMinimizerSeeder(a, 0, 15); err == nil {
+		t.Error("w=0 accepted")
+	}
+	if _, err := NewMinimizerSeeder(a, 5, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}

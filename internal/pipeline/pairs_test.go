@@ -1,0 +1,101 @@
+package pipeline
+
+import (
+	"testing"
+
+	"nvwa/internal/genome"
+)
+
+func TestSimulatePairsLayout(t *testing.T) {
+	ref := genome.Generate(genome.HumanLike(), 60000, 41)
+	pairs := genome.SimulatePairs(ref, 100, genome.DefaultPairConfig(42))
+	if len(pairs) != 100 {
+		t.Fatalf("%d pairs", len(pairs))
+	}
+	for i, p := range pairs {
+		if len(p.R1.Seq) != 101 || len(p.R2.Seq) != 101 {
+			t.Fatalf("pair %d: bad lengths", i)
+		}
+		if p.R1.TrueRev || !p.R2.TrueRev {
+			t.Fatalf("pair %d: not FR orientation", i)
+		}
+		if p.TrueInsert < 101 || p.TrueInsert > 600 {
+			t.Fatalf("pair %d: insert %d out of range", i, p.TrueInsert)
+		}
+		// The two true positions must be insert apart.
+		if got := p.R2.TruePos + 101 - p.R1.TruePos; got != p.TrueInsert {
+			t.Fatalf("pair %d: observed insert %d != %d", i, got, p.TrueInsert)
+		}
+	}
+}
+
+func TestAlignPairRecoversProperPairs(t *testing.T) {
+	ref := genome.Generate(genome.HumanLike(), 80000, 43)
+	a := New(ref.Seq, DefaultOptions())
+	pairs := genome.SimulatePairs(ref, 80, genome.DefaultPairConfig(44))
+	po := DefaultPairOptions()
+	proper, correct := 0, 0
+	for i, p := range pairs {
+		res := a.AlignPair(i, p.R1.Seq, p.R2.Seq, po)
+		if !res.R1.Found || !res.R2.Found {
+			continue
+		}
+		if res.Proper {
+			proper++
+			if res.Insert < po.MinInsert || res.Insert > po.MaxInsert {
+				t.Fatalf("pair %d: proper but insert %d out of bounds", i, res.Insert)
+			}
+		}
+		if abs(res.R1.RefBeg-p.R1.TruePos) <= 10 && abs(res.R2.RefBeg-p.R2.TruePos) <= 10 {
+			correct++
+		}
+	}
+	if proper < 60 {
+		t.Errorf("only %d/80 pairs proper", proper)
+	}
+	if correct < 60 {
+		t.Errorf("only %d/80 pairs at the true loci", correct)
+	}
+}
+
+func TestAlignPairConcordanceRescuesRepeats(t *testing.T) {
+	// A repeat-region read that multi-maps alone should prefer the
+	// placement concordant with its uniquely-mapping mate.
+	ref := genome.Generate(genome.HumanLike(), 80000, 45)
+	a := New(ref.Seq, DefaultOptions())
+	pairs := genome.SimulatePairs(ref, 150, genome.DefaultPairConfig(46))
+	po := DefaultPairOptions()
+	pairCorrect, soloCorrect := 0, 0
+	n := 0
+	for i, p := range pairs {
+		solo := a.Align(2*i, p.R1.Seq)
+		res := a.AlignPair(i, p.R1.Seq, p.R2.Seq, po)
+		if !solo.Found || !res.R1.Found {
+			continue
+		}
+		n++
+		if abs(solo.RefBeg-p.R1.TruePos) <= 10 {
+			soloCorrect++
+		}
+		if abs(res.R1.RefBeg-p.R1.TruePos) <= 10 {
+			pairCorrect++
+		}
+	}
+	if pairCorrect < soloCorrect {
+		t.Errorf("pairing reduced accuracy: %d vs %d of %d", pairCorrect, soloCorrect, n)
+	}
+}
+
+func TestAlignPairUnmappableEnd(t *testing.T) {
+	ref := genome.Generate(genome.HumanLike(), 40000, 47)
+	a := New(ref.Seq, DefaultOptions())
+	junk := make([]byte, 101) // poly-A: no usable seeds
+	good := ref.Seq[1000:1101].Clone()
+	res := a.AlignPair(0, good, junk, DefaultPairOptions())
+	if !res.R1.Found {
+		t.Error("good end should align")
+	}
+	if res.Proper {
+		t.Error("pair with unmapped end cannot be proper")
+	}
+}

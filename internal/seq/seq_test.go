@@ -1,0 +1,164 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeBase(t *testing.T) {
+	cases := []struct {
+		in   byte
+		want Base
+	}{
+		{'A', 0}, {'C', 1}, {'G', 2}, {'T', 3},
+		{'a', 0}, {'c', 1}, {'g', 2}, {'t', 3},
+		{'N', 0}, {'x', 0},
+	}
+	for _, c := range cases {
+		if got := EncodeBase(c.in); got != c.want {
+			t.Errorf("EncodeBase(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	for b := Base(0); b < 4; b++ {
+		if got := EncodeBase(DecodeBase(b)); got != b {
+			t.Errorf("round trip of base %d gave %d", b, got)
+		}
+	}
+}
+
+func TestComplement(t *testing.T) {
+	pairs := [][2]byte{{'A', 'T'}, {'C', 'G'}, {'G', 'C'}, {'T', 'A'}}
+	for _, p := range pairs {
+		if got := DecodeBase(Complement(EncodeBase(p[0]))); got != p[1] {
+			t.Errorf("complement of %q = %q, want %q", p[0], got, p[1])
+		}
+	}
+}
+
+func TestEncodeString(t *testing.T) {
+	s := Encode("ACGTACGT")
+	if s.String() != "ACGTACGT" {
+		t.Fatalf("round trip failed: %q", s.String())
+	}
+}
+
+func TestRevComp(t *testing.T) {
+	s := Encode("AACGT")
+	rc := s.RevComp()
+	if rc.String() != "ACGTT" {
+		t.Fatalf("RevComp = %q, want ACGTT", rc.String())
+	}
+}
+
+func TestRevCompInvolution(t *testing.T) {
+	f := func(raw []byte) bool {
+		s := make(Seq, len(raw))
+		for i, b := range raw {
+			s[i] = b & 3
+		}
+		return s.RevComp().RevComp().Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackRoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		s := make(Seq, len(raw))
+		for i, b := range raw {
+			s[i] = b & 3
+		}
+		return Pack(s).Unpack().Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackedAt(t *testing.T) {
+	s := Encode("GATTACA")
+	p := Pack(s)
+	if p.Len() != 7 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	for i := range s {
+		if p.At(i) != s[i] {
+			t.Errorf("At(%d) = %d, want %d", i, p.At(i), s[i])
+		}
+	}
+}
+
+func TestPackedAtPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	Pack(Encode("ACGT")).At(4)
+}
+
+func TestPackedSliceClamps(t *testing.T) {
+	p := Pack(Encode("ACGTACGT"))
+	if got := p.Slice(-5, 100).String(); got != "ACGTACGT" {
+		t.Errorf("clamped slice = %q", got)
+	}
+	if got := p.Slice(2, 6).String(); got != "GTAC" {
+		t.Errorf("Slice(2,6) = %q", got)
+	}
+	if got := p.Slice(6, 2); len(got) != 0 {
+		t.Errorf("inverted slice should be empty, got %q", got.String())
+	}
+}
+
+func TestPackedAppend(t *testing.T) {
+	p := Pack(Encode("ACG"))
+	p.Append(Encode("TTT"))
+	if got := p.Unpack().String(); got != "ACGTTT" {
+		t.Fatalf("Append result %q", got)
+	}
+	// Append on empty packed sequence.
+	var q Packed
+	q.Append(Encode("AC"))
+	if got := q.Unpack().String(); got != "AC" {
+		t.Fatalf("Append to zero value gave %q", got)
+	}
+}
+
+func TestRandomLengthAndRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := Random(rng, 1000)
+	if len(s) != 1000 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for _, c := range s {
+		if c > 3 {
+			t.Fatalf("base out of range: %d", c)
+		}
+	}
+}
+
+func TestGC(t *testing.T) {
+	if got := GC(Encode("GGCC")); got != 1 {
+		t.Errorf("GC(GGCC) = %v", got)
+	}
+	if got := GC(Encode("AATT")); got != 0 {
+		t.Errorf("GC(AATT) = %v", got)
+	}
+	if got := GC(Encode("ACGT")); got != 0.5 {
+		t.Errorf("GC(ACGT) = %v", got)
+	}
+	if got := GC(nil); got != 0 {
+		t.Errorf("GC(nil) = %v", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := Encode("ACGT")
+	c := s.Clone()
+	c[0] = 3
+	if s[0] != 0 {
+		t.Fatal("Clone aliases original")
+	}
+}

@@ -1,0 +1,85 @@
+// Package sim provides the discrete-event, cycle-accurate simulation
+// engine underneath the NvWa full-system model. It replaces the
+// paper's Python execution-driven simulator: components schedule work
+// at absolute cycle times, and utilization trackers record per-unit
+// busy intervals for the Fig. 12 traces.
+package sim
+
+import "container/heap"
+
+// Engine is a deterministic discrete-event simulator. Events scheduled
+// for the same cycle fire in scheduling order.
+type Engine struct {
+	now    int64
+	seq    int64
+	events eventHeap
+}
+
+type event struct {
+	at  int64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Now returns the current simulation cycle.
+func (e *Engine) Now() int64 { return e.now }
+
+// At schedules fn to run at the given cycle. Scheduling in the past
+// (including the current cycle) runs fn at the current cycle, after
+// already-queued same-cycle events.
+func (e *Engine) At(cycle int64, fn func()) {
+	if cycle < e.now {
+		cycle = e.now
+	}
+	heap.Push(&e.events, event{at: cycle, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// After schedules fn delay cycles from now.
+func (e *Engine) After(delay int64, fn func()) { e.At(e.now+delay, fn) }
+
+// Run processes events until the queue is empty and returns the final
+// cycle.
+func (e *Engine) Run() int64 {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil processes events up to and including the given cycle.
+// Remaining events stay queued.
+func (e *Engine) RunUntil(cycle int64) {
+	for e.events.Len() > 0 && e.events[0].at <= cycle {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < cycle {
+		e.now = cycle
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.events.Len() }

@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(5, func() { got = append(got, 5) })
+	e.At(1, func() { got = append(got, 1) })
+	e.At(3, func() { got = append(got, 3) })
+	e.At(3, func() { got = append(got, 30) }) // same cycle: scheduling order
+	end := e.Run()
+	if end != 5 {
+		t.Errorf("final cycle = %d", end)
+	}
+	want := []int{1, 3, 30, 5}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineAfterAndNesting(t *testing.T) {
+	var e Engine
+	var fired []int64
+	e.At(10, func() {
+		e.After(5, func() { fired = append(fired, e.Now()) })
+		e.After(0, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestEnginePastSchedulingClamps(t *testing.T) {
+	var e Engine
+	ran := false
+	e.At(10, func() {
+		e.At(3, func() { // in the past: runs now
+			if e.Now() != 10 {
+				t.Errorf("past event ran at %d", e.Now())
+			}
+			ran = true
+		})
+	})
+	e.Run()
+	if !ran {
+		t.Error("past-scheduled event never ran")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	var e Engine
+	count := 0
+	for i := int64(1); i <= 10; i++ {
+		e.At(i*10, func() { count++ })
+	}
+	e.RunUntil(50)
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if e.Pending() != 5 {
+		t.Errorf("pending = %d, want 5", e.Pending())
+	}
+	if e.Now() != 50 {
+		t.Errorf("now = %d, want 50", e.Now())
+	}
+	e.Run()
+	if count != 10 {
+		t.Errorf("count = %d after Run", count)
+	}
+}
+
+func TestEngineRandomizedOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var e Engine
+	var fired []int64
+	times := make([]int64, 200)
+	for i := range times {
+		times[i] = int64(rng.Intn(1000))
+		at := times[i]
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.Run()
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	for i := range times {
+		if fired[i] != times[i] {
+			t.Fatalf("event %d fired at %d, want %d", i, fired[i], times[i])
+		}
+	}
+}
+
+func TestBusyTrackerBasics(t *testing.T) {
+	var b BusyTracker
+	b.SetBusy(10)
+	b.SetBusy(12) // no-op
+	b.SetIdle(20)
+	b.SetIdle(25) // no-op
+	b.SetBusy(30)
+	b.SetIdle(40)
+	if got := b.BusyCycles(100); got != 20 {
+		t.Errorf("busy cycles = %d, want 20", got)
+	}
+	if got := b.Utilization(0, 100); got != 0.2 {
+		t.Errorf("utilization = %v, want 0.2", got)
+	}
+	if got := b.Utilization(10, 20); got != 1.0 {
+		t.Errorf("utilization of busy window = %v", got)
+	}
+	if got := b.Utilization(20, 30); got != 0 {
+		t.Errorf("utilization of idle window = %v", got)
+	}
+	if len(b.Intervals()) != 2 {
+		t.Errorf("intervals = %v", b.Intervals())
+	}
+}
+
+func TestBusyTrackerOpenInterval(t *testing.T) {
+	var b BusyTracker
+	b.SetBusy(50)
+	if !b.Busy() {
+		t.Error("should be busy")
+	}
+	if got := b.BusyCycles(60); got != 10 {
+		t.Errorf("open busy cycles = %d", got)
+	}
+	if got := b.Utilization(0, 100); got != 0.5 {
+		t.Errorf("open utilization = %v", got)
+	}
+}
+
+func TestBusyTrackerSeries(t *testing.T) {
+	var b BusyTracker
+	b.SetBusy(0)
+	b.SetIdle(50)
+	s := b.Series(100, 4)
+	want := []float64{1, 1, 0, 0}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("series = %v, want %v", s, want)
+		}
+	}
+	if got := b.Series(0, 3); len(got) != 3 {
+		t.Error("zero-end series must still have n entries")
+	}
+}
+
+func TestGroupUtilization(t *testing.T) {
+	a, b := &BusyTracker{}, &BusyTracker{}
+	a.SetBusy(0)
+	a.SetIdle(100)
+	b.SetBusy(0)
+	b.SetIdle(50)
+	if got := GroupUtilization([]*BusyTracker{a, b}, 0, 100); got != 0.75 {
+		t.Errorf("group utilization = %v, want 0.75", got)
+	}
+	if got := GroupUtilization(nil, 0, 100); got != 0 {
+		t.Errorf("empty group = %v", got)
+	}
+	s := GroupSeries([]*BusyTracker{a, b}, 100, 2)
+	if s[0] != 1.0 || s[1] != 0.5 {
+		t.Errorf("group series = %v", s)
+	}
+}
+
+func TestUtilizationDegenerateWindow(t *testing.T) {
+	var b BusyTracker
+	b.SetBusy(0)
+	b.SetIdle(10)
+	if got := b.Utilization(5, 5); got != 0 {
+		t.Errorf("degenerate window utilization = %v", got)
+	}
+}

@@ -1,0 +1,133 @@
+package sim
+
+// Interval is a half-open busy span [Beg, End) in cycles.
+type Interval struct {
+	Beg, End int64
+}
+
+// BusyTracker records when a unit is busy, accumulating the intervals
+// needed for utilization figures (paper Fig. 12).
+type BusyTracker struct {
+	intervals []Interval
+	busySince int64
+	busy      bool
+	total     int64
+}
+
+// SetBusy marks the unit busy from cycle now. Calling it while already
+// busy is a no-op.
+func (t *BusyTracker) SetBusy(now int64) {
+	if t.busy {
+		return
+	}
+	t.busy = true
+	t.busySince = now
+}
+
+// SetIdle marks the unit idle from cycle now, closing the current busy
+// interval. Calling it while idle is a no-op.
+func (t *BusyTracker) SetIdle(now int64) {
+	if !t.busy {
+		return
+	}
+	t.busy = false
+	if now > t.busySince {
+		t.intervals = append(t.intervals, Interval{t.busySince, now})
+		t.total += now - t.busySince
+	}
+}
+
+// Busy reports the current state.
+func (t *BusyTracker) Busy() bool { return t.busy }
+
+// BusyCycles returns total busy cycles up to cycle now (an open busy
+// interval is counted up to now).
+func (t *BusyTracker) BusyCycles(now int64) int64 {
+	total := t.total
+	if t.busy && now > t.busySince {
+		total += now - t.busySince
+	}
+	return total
+}
+
+// Utilization returns the busy fraction within [beg, end).
+func (t *BusyTracker) Utilization(beg, end int64) float64 {
+	if end <= beg {
+		return 0
+	}
+	var busy int64
+	for _, iv := range t.intervals {
+		busy += overlap(iv, beg, end)
+	}
+	if t.busy {
+		busy += overlap(Interval{t.busySince, end}, beg, end)
+	}
+	return float64(busy) / float64(end-beg)
+}
+
+func overlap(iv Interval, beg, end int64) int64 {
+	lo, hi := iv.Beg, iv.End
+	if lo < beg {
+		lo = beg
+	}
+	if hi > end {
+		hi = end
+	}
+	if hi > lo {
+		return hi - lo
+	}
+	return 0
+}
+
+// Intervals returns the recorded busy intervals (excluding an open one).
+func (t *BusyTracker) Intervals() []Interval { return t.intervals }
+
+// Series buckets [0, end) into n windows and returns the busy fraction
+// of each, producing the time-series of the Fig. 12 plots.
+func (t *BusyTracker) Series(end int64, n int) []float64 {
+	out := make([]float64, n)
+	if n == 0 || end <= 0 {
+		return out
+	}
+	w := float64(end) / float64(n)
+	for b := 0; b < n; b++ {
+		lo := int64(float64(b) * w)
+		hi := int64(float64(b+1) * w)
+		if b == n-1 {
+			hi = end
+		}
+		out[b] = t.Utilization(lo, hi)
+	}
+	return out
+}
+
+// GroupUtilization averages the utilization of several trackers over
+// [beg, end), e.g. all SUs of the accelerator.
+func GroupUtilization(ts []*BusyTracker, beg, end int64) float64 {
+	if len(ts) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, t := range ts {
+		sum += t.Utilization(beg, end)
+	}
+	return sum / float64(len(ts))
+}
+
+// GroupSeries averages Series across trackers.
+func GroupSeries(ts []*BusyTracker, end int64, n int) []float64 {
+	out := make([]float64, n)
+	if len(ts) == 0 {
+		return out
+	}
+	for _, t := range ts {
+		s := t.Series(end, n)
+		for i := range out {
+			out[i] += s[i]
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(ts))
+	}
+	return out
+}

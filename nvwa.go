@@ -1,0 +1,138 @@
+// Package nvwa is a library-level reproduction of "NvWa: Enhancing
+// Sequence Alignment Accelerator Throughput via Hardware Scheduling"
+// (HPCA 2023): a cycle-accurate model of a seed-and-extend read
+// alignment accelerator whose throughput comes from three scheduling
+// mechanisms — the One-Cycle Read Allocator for the seeding units, the
+// Hybrid Units Strategy for the extension units, and the Coordinator
+// between the two phases.
+//
+// The package is a facade over the internal packages:
+//
+//   - reference/read synthesis (internal/genome)
+//   - FM-index SMEM seeding and affine-gap extension, faithful to
+//     BWA-MEM (internal/fmindex, internal/align, internal/pipeline)
+//   - the accelerator model with all schedulers and their baselines
+//     (internal/accel and the scheduler packages)
+//   - the experiment harness regenerating every table and figure of
+//     the paper's evaluation (internal/experiments)
+//
+// Quickstart:
+//
+//	ref := nvwa.GenerateReference(nvwa.HumanLikeProfile(), 100000, 1)
+//	aligner := nvwa.NewAligner(ref)
+//	reads := nvwa.SimulateReads(ref, 1000, nvwa.ShortReads(2))
+//	acc, _ := nvwa.NewAccelerator(aligner, nvwa.NvWaOptions())
+//	report := acc.Run(nvwa.Sequences(reads))
+//	fmt.Println(report.ThroughputReadsPerSec)
+package nvwa
+
+import (
+	"nvwa/internal/accel"
+	"nvwa/internal/core"
+	"nvwa/internal/genome"
+	"nvwa/internal/pipeline"
+	"nvwa/internal/seq"
+)
+
+// Re-exported domain types.
+type (
+	// Reference is a (synthetic) reference genome.
+	Reference = genome.Reference
+	// Read is a simulated sequencing read with ground truth.
+	Read = genome.Read
+	// Sequence is a 2-bit coded DNA sequence.
+	Sequence = seq.Seq
+	// GenomeProfile controls synthetic-reference statistics.
+	GenomeProfile = genome.Profile
+	// ReadConfig controls the read simulator.
+	ReadConfig = genome.SimulatorConfig
+	// Aligner is the software seed-and-extend pipeline (the paper's
+	// BWA-MEM stand-in and the accelerator's accuracy oracle).
+	Aligner = pipeline.Aligner
+	// AlignResult is the outcome of aligning one read.
+	AlignResult = pipeline.Result
+	// Accelerator is a simulated NvWa (or baseline) instance.
+	Accelerator = accel.System
+	// Report is a simulation outcome.
+	Report = accel.Report
+	// Options configures an accelerator instance.
+	Options = accel.Options
+	// Config is the hardware configuration (paper Table I).
+	Config = core.Config
+	// EUClass describes one class of extension units.
+	EUClass = core.EUClass
+)
+
+// EncodeSequence converts an ASCII DNA string ("ACGT") to a Sequence.
+func EncodeSequence(s string) Sequence { return seq.Encode(s) }
+
+// HumanLikeProfile returns the human-like genome profile used as the
+// NA12878 stand-in.
+func HumanLikeProfile() GenomeProfile { return genome.HumanLike() }
+
+// GenerateReference synthesises a reference genome.
+func GenerateReference(p GenomeProfile, length int, seed int64) *Reference {
+	return genome.Generate(p, length, seed)
+}
+
+// ShortReads returns the 101 bp Illumina-like read configuration.
+func ShortReads(seed int64) ReadConfig { return genome.ShortReadConfig(seed) }
+
+// LongReads returns the 1 kbp long-read configuration.
+func LongReads(seed int64) ReadConfig { return genome.LongReadConfig(seed) }
+
+// SimulateReads samples n reads from the reference.
+func SimulateReads(ref *Reference, n int, cfg ReadConfig) []Read {
+	return genome.Simulate(ref, n, cfg)
+}
+
+// Sequences extracts the raw sequences of a read set.
+func Sequences(reads []Read) []Sequence {
+	out := make([]Sequence, len(reads))
+	for i, r := range reads {
+		out[i] = r.Seq
+	}
+	return out
+}
+
+// NewAligner indexes a reference with BWA-MEM-faithful defaults.
+func NewAligner(ref *Reference) *Aligner {
+	return pipeline.New(ref.Seq, pipeline.DefaultOptions())
+}
+
+// DefaultConfig returns the paper's Table I hardware configuration.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NvWaOptions returns the full NvWa system: One-Cycle Read Allocator,
+// Hybrid Units Strategy pool, and grouped Hits Allocator.
+func NvWaOptions() Options { return accel.NvWaOptions() }
+
+// BaselineOptions returns the unscheduled SUs+EUs comparison system:
+// Read-in-Batch seeding, a uniform 64-PE pool, and FIFO dispatch.
+func BaselineOptions() Options { return accel.BaselineOptions() }
+
+// DerivedOptions sizes the hybrid EU pool from a profiling sample of
+// the target workload, as the paper's Sec. V-A methodology prescribes.
+func DerivedOptions(a *Aligner, sample []Sequence) (Options, error) {
+	return accel.DerivedOptions(a, sample)
+}
+
+// NewAccelerator builds a simulated accelerator over an aligner's
+// index. Build a fresh instance per Run.
+func NewAccelerator(a *Aligner, opts Options) (*Accelerator, error) {
+	return accel.New(a, opts)
+}
+
+// NewMinimizerSeeder builds the minimap2-style seed-and-chain front
+// end over the aligner's reference; assign it to Options.Seeder to run
+// the accelerator with it (the paper's Sec. VI flexibility path).
+func NewMinimizerSeeder(a *Aligner, w, k int) (*pipeline.MinimizerSeeder, error) {
+	return pipeline.NewMinimizerSeeder(a, w, k)
+}
+
+// NewLongReadAligner builds the seed-and-chain-then-fill long-read
+// pipeline (minimizer sketch + colinear chaining + Darwin-GACT tiled
+// fill) over a reference — the Sec. VI long-read path.
+func NewLongReadAligner(ref *Reference, w, k int) (*pipeline.LongReadAligner, error) {
+	return pipeline.NewLongReadAligner(ref.Seq, w, k)
+}

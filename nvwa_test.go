@@ -1,0 +1,83 @@
+package nvwa_test
+
+import (
+	"testing"
+
+	"nvwa"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	ref := nvwa.GenerateReference(nvwa.HumanLikeProfile(), 50000, 1)
+	aligner := nvwa.NewAligner(ref)
+	reads := nvwa.SimulateReads(ref, 100, nvwa.ShortReads(2))
+
+	// Software path.
+	found := 0
+	for i, r := range reads {
+		if aligner.Align(i, r.Seq).Found {
+			found++
+		}
+	}
+	if found < 90 {
+		t.Errorf("software pipeline aligned only %d/100", found)
+	}
+
+	// Accelerator path with a derived pool.
+	opts, err := nvwa.DerivedOptions(aligner, nvwa.Sequences(reads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Config.NumSUs = 16 // scale down for test speed
+	acc, err := nvwa.NewAccelerator(aligner, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := acc.Run(nvwa.Sequences(reads))
+	if rep.Reads != 100 || rep.ThroughputReadsPerSec <= 0 {
+		t.Fatalf("bad report: %+v", rep.Reads)
+	}
+	// Accelerator results must equal the software pipeline's.
+	for i, r := range reads {
+		want := aligner.Align(i, r.Seq)
+		if rep.Results[i].Found != want.Found || (want.Found && rep.Results[i].Score != want.Score) {
+			t.Fatalf("read %d: accelerator diverges from software", i)
+		}
+	}
+}
+
+func TestPublicAPIConfigs(t *testing.T) {
+	cfg := nvwa.DefaultConfig()
+	if cfg.TotalPEs() != 2880 || cfg.TotalEUs() != 70 {
+		t.Error("Table I config wrong")
+	}
+	if nvwa.BaselineOptions().Config.EUClasses[0].PEs != 64 {
+		t.Error("baseline pool should be uniform 64-PE")
+	}
+	if s := nvwa.EncodeSequence("ACGT"); len(s) != 4 || s[3] != 3 {
+		t.Error("EncodeSequence wrong")
+	}
+	if nvwa.LongReads(1).ReadLen < 1000 {
+		t.Error("long reads should be >= 1 kbp")
+	}
+	if nvwa.ShortReads(1).ReadLen != 101 {
+		t.Error("short reads should be 101 bp (NA12878)")
+	}
+}
+
+func TestPublicAPILongReads(t *testing.T) {
+	ref := nvwa.GenerateReference(nvwa.HumanLikeProfile(), 60000, 11)
+	l, err := nvwa.NewLongReadAligner(ref, 10, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := nvwa.SimulateReads(ref, 20, nvwa.LongReads(12))
+	mapped := 0
+	for _, r := range reads {
+		if l.Align(r.Seq).Found {
+			mapped++
+		}
+	}
+	if mapped < 17 {
+		t.Errorf("long-read facade mapped only %d/20", mapped)
+	}
+}

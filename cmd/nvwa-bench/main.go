@@ -4,16 +4,31 @@
 //
 //	nvwa-bench [-exp all|fig2|fig5|fig6|fig8|fig9|fig11|fig12|fig13a|fig13b|fig14|tab1|tab2]
 //	           [-reads N] [-reflen N] [-seed N]
+//	           [-parallel] [-j N] [-json BENCH_parallel.json]
 //
 // Each experiment prints the rows or series of the corresponding paper
 // artifact; EXPERIMENTS.md records paper-versus-measured values.
+//
+// -parallel (or -j > 1) fans the independent configurations of the
+// multi-config experiments (fig11, fig13a, fig13b, fig14, frontend)
+// across a worker pool and replays the shared functional memo cache;
+// the output is byte-identical to the serial run (the only exception
+// is the measured software-pipeline throughput, which is a wall-clock
+// measurement either way).
+//
+// -json FILE times every parallelizable experiment twice — serial and
+// parallel — and writes per-experiment wall-clock rows with speedups
+// (plus a determinism check of the two outputs) to FILE.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"nvwa/internal/experiments"
 )
@@ -23,7 +38,15 @@ func main() {
 	reads := flag.Int("reads", 4000, "number of simulated reads for system experiments")
 	refLen := flag.Int("reflen", 200000, "synthetic reference length (bp)")
 	seed := flag.Int64("seed", 42, "random seed")
+	parallel := flag.Bool("parallel", false, "fan independent experiment configurations across a worker pool")
+	jobs := flag.Int("j", 0, "worker count for -parallel (0 = GOMAXPROCS; >1 implies -parallel)")
+	jsonOut := flag.String("json", "", "time serial vs parallel for each multi-config experiment and write JSON rows to this file")
 	flag.Parse()
+
+	runner := experiments.Serial()
+	if *parallel || *jobs > 1 {
+		runner = experiments.NewRunner(*jobs)
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
@@ -39,6 +62,21 @@ func main() {
 			env = experiments.NewEnv(*refLen, *reads, *seed)
 		}
 		return env
+	}
+	fig14Reads := func() int {
+		n := *reads / 2
+		if n < 500 {
+			n = 500
+		}
+		return n
+	}
+
+	if *jsonOut != "" {
+		if err := runParallelBench(*jsonOut, need, getEnv, *refLen, fig14Reads(), *seed, runner); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	ran := 0
@@ -63,7 +101,7 @@ func main() {
 		ran++
 	}
 	if need("fig11") {
-		fmt.Println(experiments.Fig11(getEnv()).Format())
+		fmt.Println(experiments.Fig11With(getEnv(), runner).Format())
 		ran++
 	}
 	if need("fig12") {
@@ -71,19 +109,15 @@ func main() {
 		ran++
 	}
 	if need("fig13a") {
-		fmt.Println(experiments.FormatFig13a(experiments.Fig13a(getEnv(), nil)))
+		fmt.Println(experiments.FormatFig13a(experiments.Fig13aWith(getEnv(), nil, runner)))
 		ran++
 	}
 	if need("fig13b") {
-		fmt.Println(experiments.FormatFig13b(experiments.Fig13b(getEnv(), nil)))
+		fmt.Println(experiments.FormatFig13b(experiments.Fig13bWith(getEnv(), nil, runner)))
 		ran++
 	}
 	if need("fig14") {
-		n := *reads / 2
-		if n < 500 {
-			n = 500
-		}
-		fmt.Println(experiments.FormatFig14(experiments.Fig14(*refLen, n, *seed)))
+		fmt.Println(experiments.FormatFig14(experiments.Fig14With(*refLen, fig14Reads(), *seed, runner)))
 		ran++
 	}
 	if need("seeding") {
@@ -104,7 +138,7 @@ func main() {
 		ran++
 	}
 	if need("frontend") {
-		rows, err := experiments.FrontEnds(getEnv())
+		rows, err := experiments.FrontEndsWith(getEnv(), runner)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -125,4 +159,117 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// benchRow is one serial-versus-parallel timing comparison.
+type benchRow struct {
+	Experiment string  `json:"experiment"`
+	Workers    int     `json:"workers"`
+	SerialMS   float64 `json:"serial_ms"`
+	ParallelMS float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+	// OutputIdentical is the determinism check: with the measured
+	// software throughput pinned, the two runs must format to the same
+	// bytes.
+	OutputIdentical bool `json:"output_identical"`
+}
+
+// benchFile is the BENCH_parallel.json schema.
+type benchFile struct {
+	GeneratedAt string     `json:"generated_at"`
+	Host        benchHost  `json:"host"`
+	Workload    benchWork  `json:"workload"`
+	Rows        []benchRow `json:"rows"`
+}
+
+type benchHost struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	GoVersion  string `json:"go_version"`
+}
+
+type benchWork struct {
+	RefLen     int   `json:"reflen"`
+	Reads      int   `json:"reads"`
+	Fig14Reads int   `json:"fig14_reads"`
+	Seed       int64 `json:"seed"`
+}
+
+// runParallelBench times each selected multi-config experiment under
+// the serial and parallel policies and writes the JSON report. The
+// software-pipeline throughput is pinned so both outputs are
+// deterministic and comparable byte for byte.
+func runParallelBench(path string, need func(string) bool, getEnv func() *experiments.Env,
+	refLen, fig14Reads int, seed int64, runner *experiments.Runner) error {
+	const pinnedRPS = 1e6 // deterministic stand-in for the measured CPU baseline
+	if !runner.Parallel() {
+		runner = experiments.NewRunner(0)
+	}
+	par := runner.WithSoftwareRPS(pinnedRPS)
+	ser := experiments.Serial().WithSoftwareRPS(pinnedRPS)
+
+	type job struct {
+		id  string
+		run func(r *experiments.Runner) string
+	}
+	jobs := []job{
+		{"fig11", func(r *experiments.Runner) string { return experiments.Fig11With(getEnv(), r).Format() }},
+		{"fig13a", func(r *experiments.Runner) string {
+			return experiments.FormatFig13a(experiments.Fig13aWith(getEnv(), nil, r))
+		}},
+		{"fig13b", func(r *experiments.Runner) string {
+			return experiments.FormatFig13b(experiments.Fig13bWith(getEnv(), nil, r))
+		}},
+		{"fig14", func(r *experiments.Runner) string {
+			return experiments.FormatFig14(experiments.Fig14With(refLen, fig14Reads, seed, r))
+		}},
+		{"frontend", func(r *experiments.Runner) string {
+			rows, err := experiments.FrontEndsWith(getEnv(), r)
+			if err != nil {
+				panic(err)
+			}
+			return experiments.FormatFrontEnds(rows)
+		}},
+	}
+
+	out := benchFile{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Host:        benchHost{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), GoVersion: runtime.Version()},
+		Workload:    benchWork{RefLen: refLen, Reads: len(getEnv().Reads), Fig14Reads: fig14Reads, Seed: seed},
+	}
+	fmt.Printf("%-10s %12s %12s %9s %s\n", "experiment", "serial(ms)", "parallel(ms)", "speedup", "identical")
+	for _, j := range jobs {
+		if !need(j.id) {
+			continue
+		}
+		t0 := time.Now()
+		serOut := j.run(ser)
+		serialMS := float64(time.Since(t0).Microseconds()) / 1000
+		t1 := time.Now()
+		parOut := j.run(par)
+		parallelMS := float64(time.Since(t1).Microseconds()) / 1000
+		row := benchRow{
+			Experiment:      j.id,
+			Workers:         par.Workers(),
+			SerialMS:        serialMS,
+			ParallelMS:      parallelMS,
+			OutputIdentical: serOut == parOut,
+		}
+		if parallelMS > 0 {
+			row.Speedup = serialMS / parallelMS
+		}
+		out.Rows = append(out.Rows, row)
+		fmt.Printf("%-10s %12.1f %12.1f %8.2fx %v\n",
+			row.Experiment, row.SerialMS, row.ParallelMS, row.Speedup, row.OutputIdentical)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d experiments, j=%d)\n", path, len(out.Rows), par.Workers())
+	return nil
 }

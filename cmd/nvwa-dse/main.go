@@ -6,6 +6,11 @@
 //
 //	nvwa-dse [-reads N] [-reflen N] [-seed N]
 //	         [-depths 64,256,1024,4096] [-intervals 1,2,4,8]
+//	         [-parallel] [-j N]
+//
+// -parallel (or -j > 1) fans the independent design points across a
+// worker pool backed by the shared functional memo cache; the CSV is
+// byte-identical to the serial sweep.
 package main
 
 import (
@@ -25,6 +30,8 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	depths := flag.String("depths", "64,256,1024,4096", "hits-buffer depths to sweep")
 	intervals := flag.String("intervals", "1,2,4,8", "interval counts to sweep")
+	parallel := flag.Bool("parallel", false, "fan independent design points across a worker pool")
+	jobs := flag.Int("j", 0, "worker count for -parallel (0 = GOMAXPROCS; >1 implies -parallel)")
 	flag.Parse()
 
 	ds, err := parseInts(*depths)
@@ -35,17 +42,21 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	runner := experiments.Serial()
+	if *parallel || *jobs > 1 {
+		runner = experiments.NewRunner(*jobs)
+	}
 
-	fmt.Fprintf(os.Stderr, "building workload: %d bp, %d reads...\n", *refLen, *reads)
+	fmt.Fprintf(os.Stderr, "building workload: %d bp, %d reads (%s)...\n", *refLen, *reads, runner)
 	env := experiments.NewEnv(*refLen, *reads, *seed)
 
 	fmt.Println("sweep,param,throughput_kreads,su_util,eu_util,coord_buffer_w,coord_logic_w")
-	for _, row := range experiments.Fig13a(env, ds) {
+	for _, row := range experiments.Fig13aWith(env, ds, runner) {
 		bw, lw := energy.CoordinatorPower(4, row.Depth)
 		fmt.Printf("depth,%d,%.0f,%.4f,%.4f,%.4f,%.4f\n",
 			row.Depth, row.ThroughputKReads, row.SUUtil, row.EUUtil, bw, lw)
 	}
-	for _, row := range experiments.Fig13b(env, ns) {
+	for _, row := range experiments.Fig13bWith(env, ns, runner) {
 		fmt.Printf("intervals,%d,%.0f,,,%.4f,%.4f\n",
 			row.Intervals, row.ThroughputKReads, row.BufferPowerW, row.LogicPowerW)
 	}

@@ -8,6 +8,7 @@ import (
 )
 
 func TestRunIsDeterministic(t *testing.T) {
+	t.Parallel()
 	// The discrete-event simulation must be bit-reproducible: same
 	// workload, same configuration, same report.
 	a, reads := testWorkload(t, 300, 31)
@@ -37,6 +38,7 @@ func TestRunIsDeterministic(t *testing.T) {
 }
 
 func TestPaper51PEUniformAblation(t *testing.T) {
+	t.Parallel()
 	// Paper Sec. IV-C, last paragraph: distributing the same PE budget
 	// as five uniform 51-PE units "still can not outperform our hybrid
 	// approach" because Formula 3's multi-pass penalty remains. We
@@ -69,6 +71,7 @@ func TestPaper51PEUniformAblation(t *testing.T) {
 }
 
 func TestAblationSeedingStrategiesOrdering(t *testing.T) {
+	t.Parallel()
 	// With everything else equal, one-cycle seeding must never be
 	// slower than read-in-batch.
 	a, reads := testWorkload(t, 500, 35)
@@ -88,6 +91,7 @@ func TestAblationSeedingStrategiesOrdering(t *testing.T) {
 }
 
 func TestAblationExclusiveAllocatorUnderperforms(t *testing.T) {
+	t.Parallel()
 	// The paper's basic method (1): exclusive per-class allocation
 	// wastes idle capacity when class demand is bursty, so it must not
 	// beat the grouped allocator.
@@ -105,6 +109,7 @@ func TestAblationExclusiveAllocatorUnderperforms(t *testing.T) {
 }
 
 func TestFragmentationCompactionKeepsPipelineLive(t *testing.T) {
+	t.Parallel()
 	// With a batch window larger than the EU pool, every round leaves
 	// unallocated hits; the compaction path must still drain everything.
 	a, reads := testWorkload(t, 300, 39)
@@ -125,6 +130,7 @@ func TestFragmentationCompactionKeepsPipelineLive(t *testing.T) {
 }
 
 func TestEmptyAndDegenerateWorkloads(t *testing.T) {
+	t.Parallel()
 	a, _ := testWorkload(t, 1, 41)
 	sys, err := New(a, smallOpts())
 	if err != nil {

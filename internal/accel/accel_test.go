@@ -46,6 +46,7 @@ func smallBaselineOpts() Options {
 }
 
 func TestRunCompletesAndCountsReads(t *testing.T) {
+	t.Parallel()
 	a, reads := testWorkload(t, 200, 1)
 	sys, err := New(a, smallOpts())
 	if err != nil {
@@ -73,6 +74,7 @@ func TestRunCompletesAndCountsReads(t *testing.T) {
 }
 
 func TestAcceleratorMatchesSoftwarePipeline(t *testing.T) {
+	t.Parallel()
 	// The paper's no-loss-of-accuracy claim: the accelerator's
 	// per-read outcome equals the software pipeline's.
 	a, reads := testWorkload(t, 150, 3)
@@ -107,6 +109,7 @@ func TestAcceleratorMatchesSoftwarePipeline(t *testing.T) {
 }
 
 func TestBaselineMatchesSoftwareToo(t *testing.T) {
+	t.Parallel()
 	// Scheduling must never change results — only timing.
 	a, reads := testWorkload(t, 100, 5)
 	sys, err := New(a, smallBaselineOpts())
@@ -123,6 +126,7 @@ func TestBaselineMatchesSoftwareToo(t *testing.T) {
 }
 
 func TestNvWaBeatsBaseline(t *testing.T) {
+	t.Parallel()
 	// The headline claim: all three mechanisms together outperform the
 	// unscheduled SUs+EUs system on the same workload.
 	a, reads := testWorkload(t, 400, 7)
@@ -145,6 +149,7 @@ func TestNvWaBeatsBaseline(t *testing.T) {
 }
 
 func TestUtilizationBounds(t *testing.T) {
+	t.Parallel()
 	a, reads := testWorkload(t, 150, 9)
 	sys, _ := New(a, smallOpts())
 	rep := sys.Run(reads)
@@ -166,6 +171,7 @@ func TestUtilizationBounds(t *testing.T) {
 }
 
 func TestHitConservation(t *testing.T) {
+	t.Parallel()
 	// Every produced hit must be extended exactly once: total extended
 	// across reads equals TotalHits.
 	a, reads := testWorkload(t, 200, 11)
@@ -184,6 +190,7 @@ func TestHitConservation(t *testing.T) {
 }
 
 func TestAllocStatsPopulated(t *testing.T) {
+	t.Parallel()
 	a, reads := testWorkload(t, 200, 13)
 	sys, _ := New(a, smallOpts())
 	rep := sys.Run(reads)
@@ -201,6 +208,7 @@ func TestAllocStatsPopulated(t *testing.T) {
 }
 
 func TestSmallBufferStillCorrect(t *testing.T) {
+	t.Parallel()
 	// A tiny buffer forces heavy blocking; results must be unaffected.
 	a, reads := testWorkload(t, 120, 15)
 	o := smallOpts()
@@ -222,6 +230,7 @@ func TestSmallBufferStillCorrect(t *testing.T) {
 }
 
 func TestFewReadsThanSUs(t *testing.T) {
+	t.Parallel()
 	a, reads := testWorkload(t, 5, 17)
 	for _, opts := range []Options{smallOpts(), smallBaselineOpts()} {
 		sys, err := New(a, opts)
@@ -236,6 +245,7 @@ func TestFewReadsThanSUs(t *testing.T) {
 }
 
 func TestInvalidConfigRejected(t *testing.T) {
+	t.Parallel()
 	a, _ := testWorkload(t, 1, 19)
 	o := smallOpts()
 	o.Config.NumSUs = 0
@@ -252,6 +262,7 @@ func abs(x int) int {
 }
 
 func TestPerClassEUUtilization(t *testing.T) {
+	t.Parallel()
 	a, reads := testWorkload(t, 300, 71)
 	sys, err := New(a, smallOpts())
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 )
 
 func TestMinimizerFrontEndThroughUnifiedInterface(t *testing.T) {
+	t.Parallel()
 	// The paper's Sec. VI flexibility claim: any front end producing
 	// Table III hit records runs under the same schedulers. Swap the
 	// FM-index SUs for minimizer seed-and-chain SUs and verify the
@@ -49,6 +50,7 @@ func TestMinimizerFrontEndThroughUnifiedInterface(t *testing.T) {
 }
 
 func TestMinimizerFrontEndAccuracy(t *testing.T) {
+	t.Parallel()
 	// Against simulation ground truth: most reads land at their locus.
 	ref, recs := testWorkloadRecords(t, 120, 83)
 	a := ref

@@ -16,6 +16,7 @@ var (
 )
 
 func TestUnifiedInterfaceStates(t *testing.T) {
+	t.Parallel()
 	a, _ := testWorkload(t, 1, 51)
 	sys, err := New(a, smallOpts())
 	if err != nil {
@@ -41,6 +42,7 @@ func TestUnifiedInterfaceStates(t *testing.T) {
 }
 
 func TestEUPoolMatchesConfig(t *testing.T) {
+	t.Parallel()
 	a, _ := testWorkload(t, 1, 53)
 	o := smallOpts()
 	sys, err := New(a, o)

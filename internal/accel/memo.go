@@ -1,0 +1,177 @@
+package accel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"nvwa/internal/core"
+	"nvwa/internal/fmindex"
+	"nvwa/internal/pipeline"
+	"nvwa/internal/seq"
+	"nvwa/internal/su"
+)
+
+// Memo is a concurrency-safe replay cache of the accelerator's
+// deterministic functional work: the seeding results (hits + index
+// traffic) of every read and the extension result of every hit, keyed
+// on (readIdx, hitIdx), plus the oriented read views the EUs consume.
+//
+// The insight is that the functional half of su.Unit.Process and
+// eu.Unit.Execute depends only on the workload, never on the hardware
+// configuration being simulated: every Fig. 11 ablation, Fig. 13 sweep
+// point, and front-end row recomputes the exact same SMEM searches and
+// banded DP extensions inside its single-threaded event loop. A Memo
+// precomputes them once per workload — in parallel across reads — and
+// then serves them to any number of concurrently running Systems, so
+// each cycle-accurate event loop replays only the cost model.
+//
+// Determinism contract: a Memo-backed run produces a byte-identical
+// Report to a direct run. The cached values are exactly what the
+// front end and aligner would have returned (same code path, computed
+// once), and the cycle model consumes only those values, so the event
+// schedule cannot diverge. The golden tests in internal/experiments
+// enforce this end to end.
+//
+// After Build returns, a Memo is immutable and safe for unsynchronised
+// concurrent use. Callers must not modify the returned slices.
+type Memo struct {
+	front su.Seeding // the front end the cache was built over
+	ext   extender   // the extension engine the cache was built over
+	reads []seq.Seq
+	per   []memoRead
+}
+
+// extender is eu.Extender, redeclared locally to avoid an import cycle
+// in the type alias (accel already imports eu; this keeps the memo
+// self-contained).
+type extender interface {
+	ExtendHitCost(oriented seq.Seq, h core.Hit) (core.Extension, pipeline.ExtendCost)
+	Options() pipeline.Options
+}
+
+type memoRead struct {
+	hits  []core.Hit
+	stats fmindex.Stats
+	rc    seq.Seq // reverse complement, built only when a reverse hit exists
+	exts  []memoExt
+}
+
+type memoExt struct {
+	ext  core.Extension
+	cost pipeline.ExtendCost
+}
+
+// BuildMemo precomputes the functional results of the workload over
+// the given seeding front end and extension engine, fanning the
+// independent per-read work across workers goroutines (0 means
+// GOMAXPROCS). front == nil means the extension engine also seeds
+// (the default FM-index three-pass pipeline).
+func BuildMemo(aligner *pipeline.Aligner, front su.Seeding, reads []seq.Seq, workers int) *Memo {
+	var f su.Seeding = aligner
+	if front != nil {
+		f = front
+	}
+	m := &Memo{front: f, ext: aligner, reads: reads, per: make([]memoRead, len(reads))}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(reads) {
+		workers = len(reads)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(reads) {
+					return
+				}
+				m.buildRead(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return m
+}
+
+// buildRead computes one read's seeding and extension results. Each
+// index is owned by exactly one worker, so no locking is needed.
+func (m *Memo) buildRead(i int) {
+	read := m.reads[i]
+	hits, st := m.front.SeedAndChain(i, read)
+	pr := memoRead{hits: hits, stats: st}
+	for _, h := range hits {
+		if h.Rev && pr.rc == nil {
+			pr.rc = read.RevComp()
+		}
+	}
+	pr.exts = make([]memoExt, len(hits))
+	for k, h := range hits {
+		oriented := read
+		if h.Rev {
+			oriented = pr.rc
+		}
+		ext, cost := m.ext.ExtendHitCost(oriented, h)
+		pr.exts[k] = memoExt{ext: ext, cost: cost}
+	}
+	m.per[i] = pr
+}
+
+// Replays reports whether the memo was built over the given front end
+// and can therefore replay its results. A System configured with a
+// different Seeder must not consume this cache.
+func (m *Memo) Replays(front su.Seeding) bool { return m != nil && m.front == front }
+
+// Reads returns the workload the memo was built for.
+func (m *Memo) Reads() []seq.Seq { return m.reads }
+
+// SeedAndChain implements su.Seeding by replay: it returns the cached
+// hits and index-traffic stats for the read. Unknown reads (index out
+// of range or a different sequence) fall back to the live front end,
+// preserving correctness for callers that stray from the built
+// workload.
+func (m *Memo) SeedAndChain(readIdx int, read seq.Seq) ([]core.Hit, fmindex.Stats) {
+	if readIdx >= 0 && readIdx < len(m.per) && m.reads[readIdx].Equal(read) {
+		pr := &m.per[readIdx]
+		return pr.hits, pr.stats
+	}
+	return m.front.SeedAndChain(readIdx, read)
+}
+
+// ExtendHitCost implements eu.Extender by replay: it returns the
+// cached extension for (h.ReadIdx, h.HitIdx). Hits the cache has not
+// seen (foreign front end, mutated record) fall back to the live
+// aligner.
+func (m *Memo) ExtendHitCost(oriented seq.Seq, h core.Hit) (core.Extension, pipeline.ExtendCost) {
+	if h.ReadIdx >= 0 && h.ReadIdx < len(m.per) {
+		pr := &m.per[h.ReadIdx]
+		if h.HitIdx >= 0 && h.HitIdx < len(pr.exts) && pr.hits[h.HitIdx] == h {
+			e := pr.exts[h.HitIdx]
+			return e.ext, e.cost
+		}
+	}
+	return m.ext.ExtendHitCost(oriented, h)
+}
+
+// Options implements eu.Extender.
+func (m *Memo) Options() pipeline.Options { return m.ext.Options() }
+
+// Oriented returns the read view a hit's coordinates refer to, serving
+// the cached reverse complement instead of reallocating one per
+// dispatch (pipeline.Orient allocates on every reverse-strand hit).
+func (m *Memo) Oriented(readIdx int, rev bool) seq.Seq {
+	if !rev {
+		return m.reads[readIdx]
+	}
+	if readIdx >= 0 && readIdx < len(m.per) && m.per[readIdx].rc != nil {
+		return m.per[readIdx].rc
+	}
+	return m.reads[readIdx].RevComp()
+}

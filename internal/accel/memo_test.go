@@ -1,0 +1,168 @@
+package accel
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"nvwa/internal/pipeline"
+)
+
+// TestMemoReplayByteIdenticalReport is the accelerator-level half of
+// the determinism contract: a System backed by the functional-replay
+// cache must produce a Report deeply equal to the direct System's —
+// same cycles, same results, same utilization series, same energy.
+func TestMemoReplayByteIdenticalReport(t *testing.T) {
+	t.Parallel()
+	a, reads := testWorkload(t, 150, 17)
+	memo := BuildMemo(a, nil, reads, 4)
+
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"nvwa", smallOpts()},
+		{"baseline", smallBaselineOpts()},
+	} {
+		direct, err := New(a, tc.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		directRep := direct.Run(reads)
+
+		o := tc.opts
+		o.Memo = memo
+		replay, err := New(a, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replay.memo == nil {
+			t.Fatalf("%s: memo not consumed", tc.name)
+		}
+		replayRep := replay.Run(reads)
+
+		if !reflect.DeepEqual(directRep, replayRep) {
+			t.Errorf("%s: replayed Report diverges from direct Report", tc.name)
+			if directRep.Cycles != replayRep.Cycles {
+				t.Errorf("  cycles: direct %d, replay %d", directRep.Cycles, replayRep.Cycles)
+			}
+			if directRep.TotalHits != replayRep.TotalHits {
+				t.Errorf("  hits: direct %d, replay %d", directRep.TotalHits, replayRep.TotalHits)
+			}
+		}
+	}
+}
+
+// TestMemoForeignSeederIgnored checks the front-end guard: a memo
+// built over the default FM-index pipeline must not be consumed by a
+// system configured with a different Seeder.
+func TestMemoForeignSeederIgnored(t *testing.T) {
+	t.Parallel()
+	a, reads := testWorkload(t, 40, 23)
+	memo := BuildMemo(a, nil, reads, 2)
+	ms, err := pipeline.NewMinimizerSeeder(a, 10, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := smallOpts()
+	o.Seeder = ms
+	o.Memo = memo
+	sys, err := New(a, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.memo != nil {
+		t.Fatal("memo built for the FM-index front end was consumed by a minimizer-seeded system")
+	}
+	// The run must still complete correctly off the live seeder.
+	rep := sys.Run(reads)
+	if rep.Reads != len(reads) {
+		t.Fatalf("processed %d reads", rep.Reads)
+	}
+}
+
+// TestMemoSharedAcrossConcurrentSystems runs many Systems off one Memo
+// at once — the parallel experiment engine's exact shape — and checks
+// every run agrees with the serial reference. Run under -race this is
+// the memo's thread-safety proof.
+func TestMemoSharedAcrossConcurrentSystems(t *testing.T) {
+	t.Parallel()
+	a, reads := testWorkload(t, 100, 31)
+	memo := BuildMemo(a, nil, reads, 4)
+
+	ref, err := New(a, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Run(reads)
+
+	const n = 8
+	reps := make([]*Report, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o := smallOpts()
+			o.Memo = memo
+			sys, err := New(a, o)
+			if err != nil {
+				panic(err)
+			}
+			reps[i] = sys.Run(reads)
+		}(i)
+	}
+	wg.Wait()
+	for i, rep := range reps {
+		if !reflect.DeepEqual(want, rep) {
+			t.Fatalf("concurrent run %d diverges from serial reference", i)
+		}
+	}
+}
+
+// TestMemoFallbackPaths exercises the cache-miss paths: unknown read
+// indices and foreign hits must fall back to live computation instead
+// of returning wrong cached values.
+func TestMemoFallbackPaths(t *testing.T) {
+	t.Parallel()
+	a, reads := testWorkload(t, 30, 41)
+	memo := BuildMemo(a, nil, reads[:20], 2)
+
+	// Read 25 is outside the built range: replay must still seed it.
+	hits, st := memo.SeedAndChain(25, reads[25])
+	wantHits, wantSt := a.SeedAndChain(25, reads[25])
+	if len(hits) != len(wantHits) || st != wantSt {
+		t.Fatalf("fallback seeding diverges: %d hits vs %d", len(hits), len(wantHits))
+	}
+	// A known read replays the cached result.
+	gotHits, gotSt := memo.SeedAndChain(3, reads[3])
+	directHits, directSt := a.SeedAndChain(3, reads[3])
+	if !reflect.DeepEqual(gotHits, directHits) || gotSt != directSt {
+		t.Fatal("cached seeding diverges from direct computation")
+	}
+	// Extensions of cached hits replay; mutated hits fall back.
+	for _, h := range gotHits {
+		oriented := pipeline.Orient(reads[3], h.Rev)
+		gotExt, gotCost := memo.ExtendHitCost(oriented, h)
+		wantExt, wantCost := a.ExtendHitCost(oriented, h)
+		if gotExt != wantExt || gotCost != wantCost {
+			t.Fatalf("cached extension diverges for hit %d", h.HitIdx)
+		}
+		mut := h
+		mut.SeedScore++ // no longer the cached record
+		mutExt, _ := memo.ExtendHitCost(oriented, mut)
+		wantMutExt, _ := a.ExtendHitCost(oriented, mut)
+		if mutExt != wantMutExt {
+			t.Fatal("mutated hit did not fall back to live extension")
+		}
+		break
+	}
+	// Oriented views match pipeline.Orient for both strands.
+	for i := 0; i < 20; i++ {
+		for _, rev := range []bool{false, true} {
+			if !memo.Oriented(i, rev).Equal(pipeline.Orient(reads[i], rev)) {
+				t.Fatalf("oriented view diverges for read %d rev=%v", i, rev)
+			}
+		}
+	}
+}

@@ -218,7 +218,14 @@ func (s *System) tryRound() {
 func (s *System) dispatch(a coordinator.Assignment) {
 	now := s.eng.Now()
 	u := s.eus[a.Unit.ID]
-	oriented := pipeline.Orient(s.reads[a.Hit.ReadIdx], a.Hit.Rev)
+	var oriented seq.Seq
+	if s.memo != nil {
+		// Replay mode: reuse the cached oriented view instead of
+		// reallocating a reverse complement per dispatch.
+		oriented = s.memo.Oriented(a.Hit.ReadIdx, a.Hit.Rev)
+	} else {
+		oriented = pipeline.Orient(s.reads[a.Hit.ReadIdx], a.Hit.Rev)
+	}
 	ext, done := u.Execute(now, oriented, a.Hit)
 	s.eng.At(done, func() { s.euDone(u, ext) })
 }

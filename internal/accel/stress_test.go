@@ -8,7 +8,12 @@ import (
 )
 
 func TestPathologicalConfigs(t *testing.T) {
-	a, reads := testWorkload(t, 150, 61)
+	t.Parallel()
+	nReads := 150
+	if testing.Short() {
+		nReads = 60
+	}
+	a, reads := testWorkload(t, nReads, 61)
 	cases := []struct {
 		name string
 		mut  func(*Options)
@@ -57,6 +62,7 @@ func TestPathologicalConfigs(t *testing.T) {
 }
 
 func TestIdenticalReadsWorkload(t *testing.T) {
+	t.Parallel()
 	// Every SU gets the same work: no diversity, so batch and one-cycle
 	// must be nearly equivalent — a sanity check that the OCRA gain
 	// really comes from diversity.
@@ -79,7 +85,12 @@ func TestIdenticalReadsWorkload(t *testing.T) {
 }
 
 func TestManyMoreReadsThanBufferAndUnits(t *testing.T) {
-	a, reads := testWorkload(t, 800, 65)
+	t.Parallel()
+	nReads := 800
+	if testing.Short() {
+		nReads = 300
+	}
+	a, reads := testWorkload(t, nReads, 65)
 	o := smallOpts()
 	o.Config.NumSUs = 4
 	o.Config.HitsBufferDepth = 16

@@ -65,6 +65,13 @@ type Options struct {
 	EUCost eu.CostModel
 	// TraceBuckets is the resolution of utilization time series.
 	TraceBuckets int
+	// Memo optionally supplies a precomputed functional-replay cache
+	// (see BuildMemo). It is consumed only when it was built over the
+	// same seeding front end this system runs, so attaching a default
+	// FM-index memo to a minimizer-seeded system is a harmless no-op.
+	// Replayed runs produce byte-identical Reports to direct runs; the
+	// cache only removes redundant recomputation from the event loop.
+	Memo *Memo
 }
 
 // NvWaOptions returns the full NvWa system (all three mechanisms on).
@@ -103,6 +110,7 @@ type System struct {
 	trigger *extsched.Trigger
 	prefet  *seedsched.ReadSPM
 	eng     sim.Engine
+	memo    *Memo // non-nil in replay mode
 
 	reads []seq.Seq
 
@@ -144,13 +152,21 @@ func New(aligner *pipeline.Aligner, opts Options) (*System, error) {
 	if opts.Seeder != nil {
 		front = opts.Seeder
 	}
+	var ext eu.Extender = aligner
+	if opts.Memo.Replays(front) {
+		// Replay mode: the units consume precomputed functional results
+		// and the event loop models only cycle costs.
+		s.memo = opts.Memo
+		front = s.memo
+		ext = s.memo
+	}
 	for i := 0; i < opts.Config.NumSUs; i++ {
 		s.sus = append(s.sus, su.New(i, front, s.hbm, opts.SUCost))
 	}
 	id := 0
 	for ci, cl := range opts.Config.EUClasses {
 		for k := 0; k < cl.Count; k++ {
-			s.eus = append(s.eus, eu.New(id, ci, cl.PEs, aligner, opts.EUCost))
+			s.eus = append(s.eus, eu.New(id, ci, cl.PEs, ext, opts.EUCost))
 			id++
 		}
 	}

@@ -64,6 +64,7 @@ func randomSeq(rng *rand.Rand, n int) []byte {
 }
 
 func TestLocalMatchesOracle(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(1))
 	sc := BWAMEM()
 	for trial := 0; trial < 60; trial++ {
@@ -101,6 +102,7 @@ func min2(a, b int) int {
 }
 
 func TestLocalPerfectMatch(t *testing.T) {
+	t.Parallel()
 	sc := BWAMEM()
 	s := []byte{0, 1, 2, 3, 0, 1, 2, 3, 2, 1}
 	r := Local(s, s, sc)
@@ -116,6 +118,7 @@ func TestLocalPerfectMatch(t *testing.T) {
 }
 
 func TestLocalWithDeletion(t *testing.T) {
+	t.Parallel()
 	sc := BWAMEM()
 	ref := []byte{0, 1, 2, 3, 0, 0, 1, 1, 2, 2, 3, 3, 0, 1, 2, 3}
 	// Read = ref with ref[6:8] deleted.
@@ -145,6 +148,7 @@ func TestLocalWithDeletion(t *testing.T) {
 }
 
 func TestLocalWithInsertion(t *testing.T) {
+	t.Parallel()
 	cheap := Scoring{Match: 1, Mismatch: 4, GapOpen: 1, GapExtend: 1}
 	ref := []byte{0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3}
 	read := append(append(append([]byte(nil), ref[:6]...), 3, 3, 3), ref[6:]...)
@@ -164,6 +168,7 @@ func TestLocalWithInsertion(t *testing.T) {
 }
 
 func TestLocalEmptyInputs(t *testing.T) {
+	t.Parallel()
 	sc := BWAMEM()
 	if r := Local(nil, []byte{1, 2}, sc); r.Score != 0 {
 		t.Error("empty ref should score 0")
@@ -177,6 +182,7 @@ func TestLocalEmptyInputs(t *testing.T) {
 }
 
 func TestLocalSymmetry(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(2))
 	sc := BWAMEM()
 	for trial := 0; trial < 30; trial++ {
@@ -189,6 +195,7 @@ func TestLocalSymmetry(t *testing.T) {
 }
 
 func TestBandedEqualsFullWithWideBand(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(3))
 	sc := BWAMEM()
 	for trial := 0; trial < 30; trial++ {
@@ -203,6 +210,7 @@ func TestBandedEqualsFullWithWideBand(t *testing.T) {
 }
 
 func TestBandedNeverExceedsFull(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(4))
 	sc := BWAMEM()
 	for trial := 0; trial < 30; trial++ {
@@ -224,6 +232,7 @@ func TestBandedNeverExceedsFull(t *testing.T) {
 }
 
 func TestBandedFindsNearDiagonalAlignment(t *testing.T) {
+	t.Parallel()
 	sc := BWAMEM()
 	rng := rand.New(rand.NewSource(5))
 	ref := randomSeq(rng, 80)
@@ -237,6 +246,7 @@ func TestBandedFindsNearDiagonalAlignment(t *testing.T) {
 }
 
 func TestGlobal(t *testing.T) {
+	t.Parallel()
 	sc := BWAMEM()
 	s := []byte{0, 1, 2, 3, 0, 1}
 	if got := Global(s, s, sc); got != 6 {
@@ -257,6 +267,7 @@ func TestGlobal(t *testing.T) {
 }
 
 func TestExtendPerfect(t *testing.T) {
+	t.Parallel()
 	sc := BWAMEM()
 	rng := rand.New(rand.NewSource(6))
 	ref := randomSeq(rng, 50)
@@ -270,6 +281,7 @@ func TestExtendPerfect(t *testing.T) {
 }
 
 func TestExtendRejectsGarbage(t *testing.T) {
+	t.Parallel()
 	sc := BWAMEM()
 	ref := []byte{0, 0, 0, 0, 0, 0, 0, 0}
 	read := []byte{3, 3, 3, 3, 3, 3, 3, 3}
@@ -280,6 +292,7 @@ func TestExtendRejectsGarbage(t *testing.T) {
 }
 
 func TestExtendPartial(t *testing.T) {
+	t.Parallel()
 	sc := BWAMEM()
 	rng := rand.New(rand.NewSource(7))
 	good := randomSeq(rng, 20)
@@ -295,6 +308,7 @@ func TestExtendPartial(t *testing.T) {
 }
 
 func TestExtendEmpty(t *testing.T) {
+	t.Parallel()
 	sc := BWAMEM()
 	if s, _, _, _ := Extend(nil, []byte{1}, sc, 7, -1); s != 7 {
 		t.Errorf("empty ref extend = %d", s)
@@ -302,6 +316,7 @@ func TestExtendEmpty(t *testing.T) {
 }
 
 func TestCigarAccessors(t *testing.T) {
+	t.Parallel()
 	c := Cigar{{OpM, 10}, {OpD, 2}, {OpM, 5}, {OpI, 3}, {OpM, 1}}
 	if c.RefLen() != 18 {
 		t.Errorf("RefLen = %d, want 18", c.RefLen())
@@ -315,6 +330,7 @@ func TestCigarAccessors(t *testing.T) {
 }
 
 func TestScoreCigarDetectsCorruptPath(t *testing.T) {
+	t.Parallel()
 	sc := BWAMEM()
 	ref := []byte{0, 1, 2, 3}
 	read := []byte{0, 1, 2, 3}
@@ -326,6 +342,7 @@ func TestScoreCigarDetectsCorruptPath(t *testing.T) {
 }
 
 func TestLocalScoreBounds(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(8))
 	sc := BWAMEM()
 	for trial := 0; trial < 50; trial++ {

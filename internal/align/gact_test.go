@@ -22,6 +22,7 @@ func mutatedCopy(rng *rand.Rand, s []byte, subs, indels int) []byte {
 }
 
 func TestGACTExactOnCleanSequences(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(1))
 	sc := BWAMEM()
 	for trial := 0; trial < 20; trial++ {
@@ -37,6 +38,7 @@ func TestGACTExactOnCleanSequences(t *testing.T) {
 }
 
 func TestGACTNearOptimalOnNoisySequences(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(2))
 	sc := BWAMEM()
 	for trial := 0; trial < 20; trial++ {
@@ -61,6 +63,7 @@ func TestGACTNearOptimalOnNoisySequences(t *testing.T) {
 }
 
 func TestGACTConstantMemoryLongInput(t *testing.T) {
+	t.Parallel()
 	// The point of tiling: a 20 kbp extension with 64-wide tiles never
 	// allocates a 20k x 20k matrix. Just verify it runs and scores
 	// proportionally to the length.
@@ -78,6 +81,7 @@ func TestGACTConstantMemoryLongInput(t *testing.T) {
 }
 
 func TestGACTStopsOnGarbage(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(4))
 	sc := BWAMEM()
 	ref := randomSeq(rng, 500)
@@ -93,6 +97,7 @@ func TestGACTStopsOnGarbage(t *testing.T) {
 }
 
 func TestGACTOverlapHelpsIndels(t *testing.T) {
+	t.Parallel()
 	// An indel right at a tile boundary: with overlap the path
 	// re-routes; without it the committed path can lose score.
 	rng := rand.New(rand.NewSource(5))
@@ -125,6 +130,7 @@ func TestGACTOverlapHelpsIndels(t *testing.T) {
 }
 
 func TestGACTPanicsOnBadTile(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")

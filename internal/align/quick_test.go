@@ -19,6 +19,7 @@ func toDNA(raw []byte, cap int) []byte {
 }
 
 func TestQuickLocalInvariants(t *testing.T) {
+	t.Parallel()
 	sc := BWAMEM()
 	f := func(rawA, rawB []byte) bool {
 		a := toDNA(rawA, 40)
@@ -51,6 +52,7 @@ func TestQuickLocalInvariants(t *testing.T) {
 }
 
 func TestQuickBandedDominance(t *testing.T) {
+	t.Parallel()
 	sc := BWAMEM()
 	f := func(rawA, rawB []byte, bandRaw uint8) bool {
 		a := toDNA(rawA, 40)
@@ -68,6 +70,7 @@ func TestQuickBandedDominance(t *testing.T) {
 }
 
 func TestQuickExtendInvariants(t *testing.T) {
+	t.Parallel()
 	sc := BWAMEM()
 	f := func(rawA, rawB []byte, initRaw, zRaw uint8) bool {
 		a := toDNA(rawA, 40)
@@ -92,6 +95,7 @@ func TestQuickExtendInvariants(t *testing.T) {
 }
 
 func TestQuickSpeculativeMatchesUnbanded(t *testing.T) {
+	t.Parallel()
 	sc := BWAMEM()
 	f := func(rawA, rawB []byte, b0Raw uint8) bool {
 		a := toDNA(rawA, 36)

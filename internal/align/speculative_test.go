@@ -6,6 +6,7 @@ import (
 )
 
 func TestSpeculativeExtendAlwaysOptimal(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(1))
 	sc := BWAMEM()
 	for trial := 0; trial < 80; trial++ {
@@ -55,6 +56,7 @@ func TestSpeculativeExtendAlwaysOptimal(t *testing.T) {
 }
 
 func TestSpeculativeExtendPressure(t *testing.T) {
+	t.Parallel()
 	// The paper's point: a well-chosen initial band avoids retries. A
 	// perfect extension certifies on the first band; a gappy one from a
 	// tiny band needs retries, and starting at the right width needs
@@ -77,6 +79,7 @@ func TestSpeculativeExtendPressure(t *testing.T) {
 }
 
 func TestSpeculativeExtendEmpty(t *testing.T) {
+	t.Parallel()
 	sc := BWAMEM()
 	s, _, _, bands := SpeculativeExtend(nil, []byte{1}, sc, 9, 4)
 	if s != 9 || bands != nil {
@@ -85,6 +88,7 @@ func TestSpeculativeExtendEmpty(t *testing.T) {
 }
 
 func TestExtendBandedMatchesExtendWhenWide(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(3))
 	sc := BWAMEM()
 	for trial := 0; trial < 40; trial++ {
@@ -101,6 +105,7 @@ func TestExtendBandedMatchesExtendWhenWide(t *testing.T) {
 }
 
 func TestExtendBandedNeverExceedsUnbanded(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(4))
 	sc := BWAMEM()
 	for trial := 0; trial < 40; trial++ {

@@ -6,6 +6,7 @@ import (
 )
 
 func TestExtendZDropTerminatesGarbageEarly(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(1))
 	sc := BWAMEM()
 	ref := randomSeq(rng, 200)
@@ -23,6 +24,7 @@ func TestExtendZDropTerminatesGarbageEarly(t *testing.T) {
 }
 
 func TestExtendZDropPreservesGoodExtensions(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(2))
 	sc := BWAMEM()
 	for trial := 0; trial < 30; trial++ {
@@ -45,6 +47,7 @@ func TestExtendZDropPreservesGoodExtensions(t *testing.T) {
 }
 
 func TestExtendZDropScoreNeverImproved(t *testing.T) {
+	t.Parallel()
 	// Early termination can only miss score, never invent it.
 	rng := rand.New(rand.NewSource(3))
 	sc := BWAMEM()

@@ -25,12 +25,27 @@ type CostModel struct {
 // DefaultCostModel returns the calibrated fixed costs.
 func DefaultCostModel() CostModel { return CostModel{LoadCycles: 8} }
 
+// Extender is the functional seed-extension engine a unit replays:
+// normally the software pipeline itself (*pipeline.Aligner), but any
+// implementation returning the same deterministic extension result and
+// processed-extent accounting works — e.g. the accelerator's memo
+// cache, which precomputes every extension once per workload and lets
+// the cycle-accurate event loop replay only the cost model.
+type Extender interface {
+	// ExtendHitCost extends one hit and reports the DP extents the
+	// cycle model charges Formula 3 for.
+	ExtendHitCost(oriented seq.Seq, h core.Hit) (core.Extension, pipeline.ExtendCost)
+	// Options exposes the aligner options (scoring, band) the unit's
+	// systolic model is parameterised by.
+	Options() pipeline.Options
+}
+
 // Unit is one extension unit.
 type Unit struct {
 	id      int
 	class   int
 	arr     systolic.Array
-	aligner *pipeline.Aligner
+	aligner Extender
 	cost    CostModel
 	state   core.UnitState
 
@@ -45,7 +60,7 @@ type Unit struct {
 
 // New builds an extension unit of the given class with pes processing
 // elements.
-func New(id, class, pes int, aligner *pipeline.Aligner, cost CostModel) *Unit {
+func New(id, class, pes int, aligner Extender, cost CostModel) *Unit {
 	return &Unit{
 		id:      id,
 		class:   class,

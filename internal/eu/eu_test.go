@@ -15,6 +15,7 @@ func setup(t *testing.T) (*pipeline.Aligner, *genome.Reference) {
 }
 
 func TestExecuteMatchesSoftwareExtension(t *testing.T) {
+	t.Parallel()
 	a, ref := setup(t)
 	reads := genome.Simulate(ref, 40, genome.ShortReadConfig(2))
 	units := []*Unit{
@@ -51,6 +52,7 @@ func TestExecuteMatchesSoftwareExtension(t *testing.T) {
 }
 
 func TestExecuteLatencyFollowsFormula3(t *testing.T) {
+	t.Parallel()
 	a, ref := setup(t)
 	reads := genome.Simulate(ref, 30, genome.ShortReadConfig(3))
 	small := New(0, 0, 16, a, CostModel{})
@@ -81,6 +83,7 @@ func TestExecuteLatencyFollowsFormula3(t *testing.T) {
 }
 
 func TestExecuteAccountsPEUtilization(t *testing.T) {
+	t.Parallel()
 	a, ref := setup(t)
 	reads := genome.Simulate(ref, 20, genome.ShortReadConfig(4))
 	u := New(0, 3, 128, a, DefaultCostModel())
@@ -105,6 +108,7 @@ func TestExecuteAccountsPEUtilization(t *testing.T) {
 }
 
 func TestUnitStateAndAccessors(t *testing.T) {
+	t.Parallel()
 	a, _ := setup(t)
 	u := New(7, 2, 64, a, DefaultCostModel())
 	if u.ID() != 7 || u.Class() != 2 || u.PEs() != 64 {

@@ -28,6 +28,16 @@ type Fig14Row struct {
 // paper fixes the hardware from NA12878 statistics) across the six
 // species proxies plus a long-read workload.
 func Fig14(refLen, numReads int, seed int64) []Fig14Row {
+	return Fig14With(refLen, numReads, seed, Serial())
+}
+
+// Fig14With is Fig14 under an explicit execution policy. Each dataset
+// row — genome synthesis, index construction, read simulation, and
+// the NvWa simulation — is fully independent of the others (only the
+// shared human-derived hardware configuration crosses rows, and it is
+// computed first), so rows fan across the runner's workers whole. Row
+// order is the fixed profile order regardless of completion order.
+func Fig14With(refLen, numReads int, seed int64, r *Runner) []Fig14Row {
 	human := NewEnv(refLen, numReads, seed)
 	profiles := []genome.Profile{
 		genome.HumanLike(),
@@ -37,29 +47,33 @@ func Fig14(refLen, numReads int, seed int64) []Fig14Row {
 		genome.VenustaLike,
 		genome.ElegansLike,
 	}
-	var rows []Fig14Row
-	for i, p := range profiles {
-		env := NewEnvProfile(p, genome.ShortReadConfig(seed+int64(i)+7), refLen, numReads, seed+int64(i)+100)
-		rows = append(rows, fig14Row(env, human, p.Name, false))
-	}
-	// Long reads on the human-like genome (GACT-style iterative
-	// extension on the largest EU class).
 	longReads := numReads / 10
 	if longReads < 20 {
 		longReads = 20
 	}
-	longEnv := NewEnvProfile(genome.HumanLike(), genome.LongReadConfig(seed+55), refLen, longReads, seed+200)
-	rows = append(rows, fig14Row(longEnv, human, "H.sapiens-like (1 kbp long reads)", true))
+	rows := make([]Fig14Row, len(profiles)+1)
+	r.Map(len(rows), func(i int) {
+		if i < len(profiles) {
+			p := profiles[i]
+			env := NewEnvProfile(p, genome.ShortReadConfig(seed+int64(i)+7), refLen, numReads, seed+int64(i)+100)
+			rows[i] = fig14Row(env, human, p.Name, false, r)
+			return
+		}
+		// Long reads on the human-like genome (GACT-style iterative
+		// extension on the largest EU class).
+		longEnv := NewEnvProfile(genome.HumanLike(), genome.LongReadConfig(seed+55), refLen, longReads, seed+200)
+		rows[i] = fig14Row(longEnv, human, "H.sapiens-like (1 kbp long reads)", true, r)
+	})
 	return rows
 }
 
 // fig14Row simulates one dataset with the hardware configuration
 // derived from the reference (human) workload.
-func fig14Row(env, hwEnv *Env, name string, long bool) Fig14Row {
+func fig14Row(env, hwEnv *Env, name string, long bool, r *Runner) Fig14Row {
 	o := env.NvWaOptions()
 	o.Config.EUClasses = hwEnv.Classes // hardware fixed from NA12878-like stats
-	rep := env.run(o)
-	_, sw := env.Aligner.AlignAll(env.Reads, 0)
+	rep := env.runWith(o, r)
+	sw := env.softwareRPS(r)
 	row := Fig14Row{
 		Dataset:          name,
 		Long:             long,

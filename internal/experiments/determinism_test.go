@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The golden determinism suite is the contract the parallel experiment
+// engine ships under: for the same workload, (1) re-running an
+// experiment serially reproduces the formatted output byte for byte,
+// and (2) the parallel runner — worker-pool fan-out plus memo replay —
+// reproduces the serial bytes and result structs exactly. Wall-clock
+// software-throughput measurement, the one legitimately nondeterministic
+// input, is pinned via WithSoftwareRPS.
+
+const goldenRPS = 1e6
+
+// goldenSeeds drives the table: the shared test env seed plus extra
+// fresh-workload seeds that only run without -short.
+func goldenSeeds(t *testing.T) []int64 {
+	if testing.Short() {
+		return []int64{42}
+	}
+	return []int64{42, 7}
+}
+
+// goldenEnv returns the workload for a seed, reusing the shared test
+// env for seed 42.
+func goldenEnv(t *testing.T, seed int64) *Env {
+	t.Helper()
+	if seed == 42 {
+		return getEnv(t)
+	}
+	return NewEnv(60000, 800, seed)
+}
+
+func TestGoldenFig11SerialAndParallelIdentical(t *testing.T) {
+	t.Parallel()
+	for _, seed := range goldenSeeds(t) {
+		ser := Serial().WithSoftwareRPS(goldenRPS)
+		par := NewRunner(4).WithSoftwareRPS(goldenRPS)
+		env := goldenEnv(t, seed)
+
+		first := Fig11With(env, ser)
+		again := Fig11With(env, ser)
+		if first.Format() != again.Format() {
+			t.Fatalf("seed %d: serial Fig11 is not reproducible", seed)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("seed %d: serial Fig11 structs differ between runs", seed)
+		}
+
+		parallel := Fig11With(env, par)
+		if got, want := parallel.Format(), first.Format(); got != want {
+			t.Fatalf("seed %d: parallel Fig11 output diverges from serial\n--- serial ---\n%s--- parallel ---\n%s", seed, want, got)
+		}
+		if !reflect.DeepEqual(first, parallel) {
+			t.Fatalf("seed %d: parallel Fig11 structs diverge from serial", seed)
+		}
+	}
+}
+
+func TestGoldenFig13aSerialAndParallelIdentical(t *testing.T) {
+	t.Parallel()
+	depths := []int{16, 64, 256, 1024}
+	for _, seed := range goldenSeeds(t) {
+		ser := Serial().WithSoftwareRPS(goldenRPS)
+		par := NewRunner(4).WithSoftwareRPS(goldenRPS)
+		env := goldenEnv(t, seed)
+
+		first := Fig13aWith(env, depths, ser)
+		again := Fig13aWith(env, depths, ser)
+		if FormatFig13a(first) != FormatFig13a(again) {
+			t.Fatalf("seed %d: serial Fig13a is not reproducible", seed)
+		}
+		parallel := Fig13aWith(env, depths, par)
+		if got, want := FormatFig13a(parallel), FormatFig13a(first); got != want {
+			t.Fatalf("seed %d: parallel Fig13a output diverges from serial\n--- serial ---\n%s--- parallel ---\n%s", seed, want, got)
+		}
+		if !reflect.DeepEqual(first, parallel) {
+			t.Fatalf("seed %d: parallel Fig13a rows diverge from serial", seed)
+		}
+	}
+}
+
+func TestGoldenFig14SerialAndParallelIdentical(t *testing.T) {
+	t.Parallel()
+	refLen, nReads := 30000, 120
+	if testing.Short() {
+		refLen, nReads = 20000, 80
+	}
+	for _, seed := range goldenSeeds(t) {
+		ser := Serial().WithSoftwareRPS(goldenRPS)
+		par := NewRunner(4).WithSoftwareRPS(goldenRPS)
+
+		first := Fig14With(refLen, nReads, seed, ser)
+		parallel := Fig14With(refLen, nReads, seed, par)
+		if got, want := FormatFig14(parallel), FormatFig14(first); got != want {
+			t.Fatalf("seed %d: parallel Fig14 output diverges from serial\n--- serial ---\n%s--- parallel ---\n%s", seed, want, got)
+		}
+		if !reflect.DeepEqual(first, parallel) {
+			t.Fatalf("seed %d: parallel Fig14 rows diverge from serial", seed)
+		}
+		if testing.Short() {
+			continue
+		}
+		// Fresh serial rerun (rebuilding every per-row Env) must also
+		// reproduce the bytes: workload synthesis is seed-deterministic.
+		again := Fig14With(refLen, nReads, seed, ser)
+		if FormatFig14(again) != FormatFig14(first) {
+			t.Fatalf("seed %d: serial Fig14 is not reproducible across env rebuilds", seed)
+		}
+	}
+}
+
+// TestGoldenReportEquivalence pins the Report-level contract inside the
+// experiments layer: the exact same accel.Options run with and without
+// the env's memo produce deeply equal Reports.
+func TestGoldenReportEquivalence(t *testing.T) {
+	t.Parallel()
+	env := getEnv(t)
+	o := env.NvWaOptions()
+	direct := env.run(o)
+	o.Memo = env.Memo()
+	replay := env.run(o)
+	if !reflect.DeepEqual(direct, replay) {
+		t.Fatal("memo-replayed Report diverges from direct Report")
+	}
+	if direct.Cycles != replay.Cycles {
+		t.Fatalf("cycle counts diverge: %d vs %d", direct.Cycles, replay.Cycles)
+	}
+}
+
+// TestGoldenFrontEndsParallel covers the front-end experiment, whose
+// minimizer row must bypass the FM-index memo rather than consume it.
+func TestGoldenFrontEndsParallel(t *testing.T) {
+	t.Parallel()
+	env := getEnv(t)
+	ser := Serial().WithSoftwareRPS(goldenRPS)
+	par := NewRunner(2).WithSoftwareRPS(goldenRPS)
+	first, err := FrontEndsWith(env, ser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := FrontEndsWith(env, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatFrontEnds(first) != FormatFrontEnds(parallel) {
+		t.Fatal("parallel front-end rows diverge from serial")
+	}
+	if !reflect.DeepEqual(first, parallel) {
+		t.Fatal("front-end row structs diverge")
+	}
+}

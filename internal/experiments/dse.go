@@ -19,22 +19,27 @@ type Fig13aRow struct {
 }
 
 // Fig13a sweeps the Hits Buffer depth (the paper finds 1024 best).
-func Fig13a(env *Env, depths []int) []Fig13aRow {
+func Fig13a(env *Env, depths []int) []Fig13aRow { return Fig13aWith(env, depths, Serial()) }
+
+// Fig13aWith is Fig13a under an explicit execution policy: each depth
+// design point is an independent simulation, fanned across the
+// runner's workers with order-preserving row collection.
+func Fig13aWith(env *Env, depths []int, r *Runner) []Fig13aRow {
 	if len(depths) == 0 {
 		depths = []int{64, 128, 256, 512, 1024, 2048, 4096}
 	}
-	var rows []Fig13aRow
-	for _, d := range depths {
+	rows := make([]Fig13aRow, len(depths))
+	r.Map(len(depths), func(i int) {
 		o := env.NvWaOptions()
-		o.Config.HitsBufferDepth = d
-		rep := env.run(o)
-		rows = append(rows, Fig13aRow{
-			Depth:            d,
+		o.Config.HitsBufferDepth = depths[i]
+		rep := env.runWith(o, r)
+		rows[i] = Fig13aRow{
+			Depth:            depths[i],
 			ThroughputKReads: rep.ThroughputReadsPerSec / 1000,
 			SUUtil:           rep.SUUtil,
 			EUUtil:           rep.EUUtil,
-		})
-	}
+		}
+	})
 	return rows
 }
 
@@ -74,36 +79,50 @@ type Fig13bRow struct {
 // as the throughput/power sweet spot). For each interval count the
 // pool is re-derived from the workload's hit distribution under the
 // same 2880-PE budget.
-func Fig13b(env *Env, counts []int) []Fig13bRow {
+func Fig13b(env *Env, counts []int) []Fig13bRow { return Fig13bWith(env, counts, Serial()) }
+
+// Fig13bWith is Fig13b under an explicit execution policy. The hit
+// distribution is collected once up front; the per-count pool solve
+// and simulation fan across the runner's workers. Rows keep the input
+// order; counts whose pool solve fails are dropped, as in the serial
+// path.
+func Fig13bWith(env *Env, counts []int, r *Runner) []Fig13bRow {
 	if len(counts) == 0 {
 		counts = []int{1, 2, 4, 8, 16}
 	}
 	budget := core.DefaultConfig().TotalPEs()
 	lens := env.Aligner.HitLengths(sampleReads(env, 500))
-	var rows []Fig13bRow
-	for _, n := range counts {
+	slots := make([]*Fig13bRow, len(counts))
+	r.Map(len(counts), func(i int) {
+		n := counts[i]
 		sizes := sizesForIntervals(n)
 		ladder := make([]core.EUClass, len(sizes))
-		for i, p := range sizes {
-			ladder[i] = core.EUClass{PEs: p, Count: 1}
+		for k, p := range sizes {
+			ladder[k] = core.EUClass{PEs: p, Count: 1}
 		}
 		dist := extsched.NewClassifier(ladder).Histogram(lens)
 		classes, err := extsched.SolveHybrid(dist, sizes, budget)
 		if err != nil {
-			continue
+			return
 		}
 		o := env.NvWaOptions()
 		o.Config.EUClasses = compactClasses(classes)
-		rep := env.run(o)
+		rep := env.runWith(o, r)
 		bw, lw := energy.CoordinatorPower(n, o.Config.HitsBufferDepth)
-		rows = append(rows, Fig13bRow{
+		slots[i] = &Fig13bRow{
 			Intervals:        n,
 			Sizes:            sizes,
 			Classes:          classes,
 			ThroughputKReads: rep.ThroughputReadsPerSec / 1000,
 			BufferPowerW:     bw,
 			LogicPowerW:      lw,
-		})
+		}
+	})
+	var rows []Fig13bRow
+	for _, s := range slots {
+		if s != nil {
+			rows = append(rows, *s)
+		}
 	}
 	return rows
 }

@@ -7,6 +7,8 @@
 package experiments
 
 import (
+	"sync"
+
 	"nvwa/internal/accel"
 	"nvwa/internal/core"
 	"nvwa/internal/extsched"
@@ -17,7 +19,10 @@ import (
 
 // Env is a reusable workload: a synthetic reference, its index, and a
 // simulated read set. Building the index dominates setup time, so
-// experiments share an Env where possible.
+// experiments share an Env where possible. An Env is safe for
+// concurrent use: the aligner and index are read-only after
+// construction (AlignAll already exercises them from many goroutines),
+// and every simulation builds a private accel.System.
 type Env struct {
 	// Ref is the synthetic reference genome.
 	Ref *genome.Reference
@@ -30,6 +35,9 @@ type Env struct {
 	// Classes is the hybrid EU pool derived from this workload's hit
 	// distribution via Eq. (4)-(5), as Sec. V-A prescribes.
 	Classes []core.EUClass
+
+	memoOnce sync.Once
+	memo     *accel.Memo
 }
 
 // NewEnv builds the standard short-read workload: a human-like
@@ -85,4 +93,36 @@ func (e *Env) run(o accel.Options) *accel.Report {
 		panic(err) // options are constructed internally; invalid means a bug
 	}
 	return sys.Run(e.Reads)
+}
+
+// Memo returns the workload's shared functional-replay cache, building
+// it on first use (in parallel across reads). The cache covers the
+// default FM-index front end; systems configured with another Seeder
+// ignore it.
+func (e *Env) Memo() *accel.Memo {
+	e.memoOnce.Do(func() {
+		e.memo = accel.BuildMemo(e.Aligner, nil, e.Reads, 0)
+	})
+	return e.memo
+}
+
+// runWith simulates one configuration under the runner's policy:
+// memo-replay runs attach the shared cache, the serial policy runs the
+// unmodified path. Both produce byte-identical Reports.
+func (e *Env) runWith(o accel.Options, r *Runner) *accel.Report {
+	if r.UseMemo() && o.Seeder == nil {
+		o.Memo = e.Memo()
+	}
+	return e.run(o)
+}
+
+// softwareRPS returns the software-pipeline throughput under the
+// runner's policy: the pinned deterministic value when set, otherwise
+// the measured multi-threaded wall-clock rate.
+func (e *Env) softwareRPS(r *Runner) float64 {
+	if r != nil && r.swRPS > 0 {
+		return r.swRPS
+	}
+	_, rps := e.Aligner.AlignAll(e.Reads, 0)
+	return rps
 }

@@ -2,22 +2,27 @@ package experiments
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
 // testEnv builds a small-but-representative workload once per test
-// binary (index construction dominates).
-var sharedEnv *Env
+// binary (index construction dominates). The sync.Once makes the
+// shared env safe for t.Parallel tests; the Env itself is
+// concurrency-safe by construction.
+var (
+	sharedEnvOnce sync.Once
+	sharedEnv     *Env
+)
 
 func getEnv(t *testing.T) *Env {
 	t.Helper()
-	if sharedEnv == nil {
-		sharedEnv = NewEnv(60000, 800, 42)
-	}
+	sharedEnvOnce.Do(func() { sharedEnv = NewEnv(60000, 800, 42) })
 	return sharedEnv
 }
 
 func TestFig2ShowsDiversity(t *testing.T) {
+	t.Parallel()
 	env := getEnv(t)
 	res := Fig2(env, 500)
 	if len(res.Profiles) != 500 {
@@ -38,6 +43,7 @@ func TestFig2ShowsDiversity(t *testing.T) {
 }
 
 func TestFig5OneCycleWins(t *testing.T) {
+	t.Parallel()
 	res := Fig5(nil, 4)
 	if res.OneCycleMakespan >= res.BatchMakespan {
 		t.Errorf("one-cycle %d not faster than batch %d", res.OneCycleMakespan, res.BatchMakespan)
@@ -51,6 +57,7 @@ func TestFig5OneCycleWins(t *testing.T) {
 }
 
 func TestFig5CustomDurations(t *testing.T) {
+	t.Parallel()
 	// Uniform durations: both strategies are equivalent (one-cycle may
 	// only win by batch boundary effects).
 	res := Fig5([]int{10, 10, 10, 10}, 4)
@@ -60,6 +67,7 @@ func TestFig5CustomDurations(t *testing.T) {
 }
 
 func TestFig6DepthsMatchPaper(t *testing.T) {
+	t.Parallel()
 	rows := Fig6()
 	want := map[int]int{64: 6, 128: 7, 256: 8, 512: 9}
 	for _, r := range rows {
@@ -76,6 +84,7 @@ func TestFig6DepthsMatchPaper(t *testing.T) {
 }
 
 func TestFig8Observations(t *testing.T) {
+	t.Parallel()
 	series := Fig8()
 	if len(series) != 2 || series[0].Len != 9 || series[1].Len != 64 {
 		t.Fatal("expected curves for lengths 9 and 64")
@@ -89,6 +98,7 @@ func TestFig8Observations(t *testing.T) {
 }
 
 func TestFig9ReproducesPaperCycles(t *testing.T) {
+	t.Parallel()
 	res := Fig9()
 	if res.UniformCycles != 455 {
 		t.Errorf("uniform = %d cycles, paper says 455", res.UniformCycles)
@@ -102,6 +112,7 @@ func TestFig9ReproducesPaperCycles(t *testing.T) {
 }
 
 func TestFig11ShapeHolds(t *testing.T) {
+	t.Parallel()
 	env := getEnv(t)
 	res := Fig11(env)
 	// Who wins: NvWa over SUs+EUs, and each mechanism individually
@@ -139,6 +150,7 @@ func TestFig11ShapeHolds(t *testing.T) {
 }
 
 func TestFig12ShapeHolds(t *testing.T) {
+	t.Parallel()
 	env := getEnv(t)
 	res := Fig12(env)
 	if res.NvWa.SUUtil <= res.Baseline.SUUtil+0.2 {
@@ -161,6 +173,7 @@ func TestFig12ShapeHolds(t *testing.T) {
 }
 
 func TestFig13aSweep(t *testing.T) {
+	t.Parallel()
 	env := getEnv(t)
 	rows := Fig13a(env, []int{4, 64, 4096})
 	if len(rows) != 3 {
@@ -182,6 +195,7 @@ func TestFig13aSweep(t *testing.T) {
 }
 
 func TestFig13bSweep(t *testing.T) {
+	t.Parallel()
 	env := getEnv(t)
 	rows := Fig13b(env, []int{1, 4, 8})
 	if len(rows) != 3 {
@@ -202,6 +216,7 @@ func TestFig13bSweep(t *testing.T) {
 }
 
 func TestSizesForIntervals(t *testing.T) {
+	t.Parallel()
 	for _, n := range []int{1, 2, 3, 4, 5, 8, 16} {
 		sizes := sizesForIntervals(n)
 		if len(sizes) != n {
@@ -216,6 +231,7 @@ func TestSizesForIntervals(t *testing.T) {
 }
 
 func TestTable1(t *testing.T) {
+	t.Parallel()
 	out := Table1(getEnv(t).NvWaOptions().Config)
 	for _, want := range []string{"128 SUs", "HBM v1.0", "PEs total"} {
 		if !strings.Contains(out, want) {
@@ -225,6 +241,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestTable2(t *testing.T) {
+	t.Parallel()
 	env := getEnv(t)
 	rep := env.RunNvWa()
 	res := Table2(rep)

@@ -22,7 +22,14 @@ type FrontEndRow struct {
 // different seeding algorithms — the FM-index three-pass pipeline and
 // the minimap2-style minimizer seed-and-chain — through the Table III
 // unified interface.
-func FrontEnds(env *Env) ([]FrontEndRow, error) {
+func FrontEnds(env *Env) ([]FrontEndRow, error) { return FrontEndsWith(env, Serial()) }
+
+// FrontEndsWith is FrontEnds under an explicit execution policy: the
+// front-end rows are independent systems and fan across the runner's
+// workers. The minimizer row configures its own Seeder, so the shared
+// FM-index memo is (correctly) not consumed there — accel.System
+// refuses a memo built over a different front end.
+func FrontEndsWith(env *Env, rn *Runner) ([]FrontEndRow, error) {
 	ms, err := pipeline.NewMinimizerSeeder(env.Aligner, 10, 15)
 	if err != nil {
 		return nil, err
@@ -34,26 +41,27 @@ func FrontEnds(env *Env) ([]FrontEndRow, error) {
 		{"FM-index (BWA-MEM three-pass)", func(o *accel.Options) {}},
 		{"minimizer seed-and-chain (minimap2-style)", func(o *accel.Options) { o.Seeder = ms }},
 	}
-	var rows []FrontEndRow
-	for _, c := range configs {
+	rows := make([]FrontEndRow, len(configs))
+	rn.Map(len(configs), func(i int) {
+		c := configs[i]
 		o := env.NvWaOptions()
 		c.mut(&o)
-		rep := env.run(o)
+		rep := env.runWith(o, rn)
 		aligned := 0
 		for _, r := range rep.Results {
 			if r.Found {
 				aligned++
 			}
 		}
-		rows = append(rows, FrontEndRow{
+		rows[i] = FrontEndRow{
 			Name:             c.name,
 			ThroughputKReads: rep.ThroughputReadsPerSec / 1000,
 			SUUtil:           rep.SUUtil,
 			EUUtil:           rep.EUUtil,
 			HitsPerRead:      float64(rep.TotalHits) / float64(max1(rep.Reads)),
 			Aligned:          aligned,
-		})
-	}
+		}
+	})
 	return rows, nil
 }
 

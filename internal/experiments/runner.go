@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Runner is the experiment-execution policy: how many workers fan the
+// independent artifacts of an experiment (Fig. 11's ablation configs,
+// Fig. 13's sweep points, Fig. 14's dataset rows, the front-end rows)
+// across the host, and whether the shared functional-replay memo cache
+// (accel.Memo) backs the simulated Systems.
+//
+// Determinism contract: for any Runner, every experiment produces
+// byte-identical formatted output and identical result structs to the
+// serial Runner, as long as the measured-software-throughput fields
+// are pinned with WithSoftwareRPS (wall-clock measurements are the
+// only nondeterministic inputs an experiment has). Each parallel job
+// writes only its own index of a preallocated result slice, so
+// collection order is the program order, never the completion order.
+// The golden tests in determinism_test.go enforce the contract.
+type Runner struct {
+	workers int
+	memo    bool
+	swRPS   float64
+}
+
+// Serial returns the bisection-friendly reference policy: one worker,
+// no memo replay — exactly the code path the repository shipped with.
+func Serial() *Runner { return &Runner{workers: 1} }
+
+// NewRunner returns a policy with the given worker count (0 or
+// negative means runtime.GOMAXPROCS). More than one worker enables
+// memo replay, since sharing the precomputed functional results is
+// what makes the fan-out profitable.
+func NewRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: workers, memo: workers > 1}
+}
+
+// WithMemo overrides whether Env-backed runs replay the shared memo
+// cache (useful for isolating the two tentpole mechanisms).
+func (r *Runner) WithMemo(on bool) *Runner {
+	c := *r
+	c.memo = on
+	return &c
+}
+
+// WithSoftwareRPS pins the software-pipeline throughput (reads/sec)
+// experiments would otherwise measure by wall clock, making their
+// output fully deterministic. Zero restores measurement.
+func (r *Runner) WithSoftwareRPS(rps float64) *Runner {
+	c := *r
+	c.swRPS = rps
+	return &c
+}
+
+// Workers returns the worker-pool size.
+func (r *Runner) Workers() int {
+	if r == nil || r.workers <= 0 {
+		return 1
+	}
+	return r.workers
+}
+
+// Parallel reports whether the policy fans work out.
+func (r *Runner) Parallel() bool { return r.Workers() > 1 }
+
+// UseMemo reports whether Env-backed runs should replay the memo.
+func (r *Runner) UseMemo() bool { return r != nil && r.memo }
+
+// String names the policy for logs and bench rows.
+func (r *Runner) String() string {
+	if !r.Parallel() {
+		return "serial"
+	}
+	memo := "memo"
+	if !r.UseMemo() {
+		memo = "no-memo"
+	}
+	return fmt.Sprintf("parallel(j=%d,%s)", r.Workers(), memo)
+}
+
+// Map runs fn(0..n-1) on the worker pool and returns when all calls
+// finished. Each index is claimed by exactly one worker; fn writes its
+// result into the caller's slice at its own index, which is what keeps
+// result collection order-preserving regardless of completion order.
+// A panic in any fn is re-raised on the caller's goroutine after the
+// pool drains, so a failing experiment behaves like its serial self.
+func (r *Runner) Map(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := r.Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							panicMu.Lock()
+							if panicked == nil {
+								panicked = p
+							}
+							panicMu.Unlock()
+							// Drain remaining work so the pool exits fast.
+							atomic.StoreInt64(&next, int64(n))
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

@@ -44,38 +44,55 @@ type Fig11Result struct {
 }
 
 // Fig11 runs the simulated comparison and ablations on the workload.
-func Fig11(env *Env) Fig11Result {
+func Fig11(env *Env) Fig11Result { return Fig11With(env, Serial()) }
+
+// Fig11With is Fig11 under an explicit execution policy: the six
+// independent accelerator configurations (baseline, the cumulative
+// build-up, the add-one-in ablations, full NvWa) fan across the
+// runner's worker pool, and memo replay removes the redundant
+// per-config functional recomputation. Output is byte-identical to
+// the serial policy.
+func Fig11With(env *Env, r *Runner) Fig11Result {
 	res := Fig11Result{Ablations: map[string]float64{}, AddOne: map[string]float64{}}
 
-	base := env.RunBaseline()
-	full := env.RunNvWa()
+	// The five ablation configs plus full NvWa are independent systems
+	// over the same workload — exactly the paper's Fig. 11 columns.
+	withHUS := env.BaselineOptions()
+	withHUS.Config.EUClasses = env.Classes
+	withOCRA := withHUS
+	withOCRA.SeedStrategy = accel.OneCycle
+	ocraOnly := env.BaselineOptions()
+	ocraOnly.SeedStrategy = accel.OneCycle
+	haOnly := env.BaselineOptions()
+	haOnly.AllocStrategy = coordinator.Grouped
+
+	configs := []accel.Options{
+		env.BaselineOptions(), // base
+		env.NvWaOptions(),     // full
+		withHUS,
+		withOCRA,
+		ocraOnly,
+		haOnly,
+	}
+	reps := make([]*accel.Report, len(configs))
+	r.Map(len(configs), func(i int) { reps[i] = env.runWith(configs[i], r) })
+	base, full, hus, ocra := reps[0], reps[1], reps[2], reps[3]
+
 	res.TotalSpeedup = float64(base.Cycles) / float64(full.Cycles)
 
 	// Cumulative build-up in the paper's order (the three reported
 	// factors multiply to the total by construction):
 	// SUs+EUs -> +HUS -> +HUS+OCRA -> +HUS+OCRA+HA (= NvWa).
-	withHUS := env.BaselineOptions()
-	withHUS.Config.EUClasses = env.Classes
-	hus := env.run(withHUS)
-
-	withOCRA := withHUS
-	withOCRA.SeedStrategy = accel.OneCycle
-	ocra := env.run(withOCRA)
-
 	res.Ablations["Hybrid Units Strategy"] = float64(base.Cycles) / float64(hus.Cycles)
 	res.Ablations["One-Cycle Read Allocator"] = float64(hus.Cycles) / float64(ocra.Cycles)
 	res.Ablations["Hits Allocator"] = float64(ocra.Cycles) / float64(full.Cycles)
 
 	// Add-one-in: enable one mechanism alone on top of the baseline.
-	ocraOnly := env.BaselineOptions()
-	ocraOnly.SeedStrategy = accel.OneCycle
 	res.AddOne["Hybrid Units Strategy"] = float64(base.Cycles) / float64(hus.Cycles)
-	res.AddOne["One-Cycle Read Allocator"] = float64(base.Cycles) / float64(env.run(ocraOnly).Cycles)
-	haOnly := env.BaselineOptions()
-	haOnly.AllocStrategy = coordinator.Grouped
-	res.AddOne["Hits Allocator"] = float64(base.Cycles) / float64(env.run(haOnly).Cycles)
+	res.AddOne["One-Cycle Read Allocator"] = float64(base.Cycles) / float64(reps[4].Cycles)
+	res.AddOne["Hits Allocator"] = float64(base.Cycles) / float64(reps[5].Cycles)
 
-	_, swTput := env.Aligner.AlignAll(env.Reads, 0)
+	swTput := env.softwareRPS(r)
 	res.SoftwareKReads = swTput / 1000
 	if swTput > 0 {
 		res.CPUSpeedup = full.ThroughputReadsPerSec / swTput

@@ -39,6 +39,7 @@ outer:
 }
 
 func TestCountMatchesBruteForce(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(2))
 	for trial := 0; trial < 20; trial++ {
 		text := randomText(rng, 300+rng.Intn(300))
@@ -70,6 +71,7 @@ func TestCountMatchesBruteForce(t *testing.T) {
 }
 
 func TestOccConsistency(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(3))
 	text := randomText(rng, 1000)
 	idx := New(text)
@@ -91,6 +93,7 @@ func TestOccConsistency(t *testing.T) {
 }
 
 func TestLocateMatchesBruteForce(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(4))
 	for trial := 0; trial < 10; trial++ {
 		text := randomText(rng, 400)
@@ -126,6 +129,7 @@ func TestLocateMatchesBruteForce(t *testing.T) {
 }
 
 func TestLocateAllCap(t *testing.T) {
+	t.Parallel()
 	text := make([]byte, 200) // all A: pattern AA occurs 199 times
 	idx := New(text)
 	iv := idx.Full()
@@ -138,6 +142,7 @@ func TestLocateAllCap(t *testing.T) {
 }
 
 func TestExtendEmptyInterval(t *testing.T) {
+	t.Parallel()
 	idx := New([]byte{0, 1, 2, 3})
 	iv := idx.Extend(Interval{2, 2}, 1, nil)
 	if !iv.Empty() {
@@ -146,6 +151,7 @@ func TestExtendEmptyInterval(t *testing.T) {
 }
 
 func TestStatsAdd(t *testing.T) {
+	t.Parallel()
 	a := Stats{OccAccesses: 1, LFSteps: 2, SALookups: 3}
 	b := Stats{OccAccesses: 10, LFSteps: 20, SALookups: 30}
 	a.Add(b)
@@ -155,6 +161,7 @@ func TestStatsAdd(t *testing.T) {
 }
 
 func TestOccIntervalBoundaries(t *testing.T) {
+	t.Parallel()
 	// Text straddling multiple checkpoint blocks with a biased
 	// composition catches block-mask bugs.
 	rng := rand.New(rand.NewSource(5))

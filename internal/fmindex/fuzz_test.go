@@ -1,0 +1,62 @@
+package fmindex
+
+import "testing"
+
+// FuzzSMEMvsNaive cross-checks the two-phase FM-index SMEM traversal
+// (bwt_smem1) against the brute-force oracle on fuzzer-chosen
+// text/read pairs: the set of supermaximal exact matches and their
+// occurrence counts must agree exactly. The corpus seeds cover exact
+// substrings, repeats, and unrelated reads.
+func FuzzSMEMvsNaive(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0, 1, 2, 3, 2, 1, 0, 3}, []byte{0, 1, 2, 3}, byte(2))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, []byte{0, 0, 0}, byte(1))
+	f.Add([]byte{2, 1, 3, 0, 2, 2, 1, 3, 3, 1, 0, 2, 3, 1}, []byte{3, 3, 1, 0}, byte(3))
+	f.Add([]byte("ACGTGTCA"), []byte("TGTC"), byte(2))
+	f.Fuzz(func(t *testing.T, rawText, rawRead []byte, minLenRaw byte) {
+		if len(rawText) == 0 || len(rawRead) == 0 {
+			return
+		}
+		if len(rawText) > 512 {
+			rawText = rawText[:512]
+		}
+		if len(rawRead) > 96 {
+			rawRead = rawRead[:96]
+		}
+		text := make([]byte, len(rawText))
+		for i, b := range rawText {
+			text[i] = b & 3
+		}
+		r := make([]byte, len(rawRead))
+		for i, b := range rawRead {
+			r[i] = b & 3
+		}
+		minLen := 1 + int(minLenRaw)%8
+
+		bi := NewBi(text)
+		var st Stats
+		got := bi.FindSMEMs(r, minLen, &st)
+		want := bruteSMEMs(text, r, minLen)
+
+		if len(got) != len(want) {
+			t.Fatalf("minLen %d: %d SMEMs, want %d\n got=%v\nwant=%v\ntext=%v\nread=%v",
+				minLen, len(got), len(want), smemPairs(got), want, text, r)
+		}
+		wantSet := map[[2]int]bool{}
+		for _, w := range want {
+			wantSet[w] = true
+		}
+		for _, s := range got {
+			if !wantSet[[2]int{s.ReadBeg, s.ReadEnd}] {
+				t.Fatalf("spurious SMEM [%d,%d) (want %v)", s.ReadBeg, s.ReadEnd, want)
+			}
+			if s.Len() < minLen {
+				t.Fatalf("SMEM [%d,%d) shorter than minLen %d", s.ReadBeg, s.ReadEnd, minLen)
+			}
+			// Interval sizes must equal the true occurrence count.
+			if gotN, wantN := s.Iv.Size(), bruteCount(text, r[s.ReadBeg:s.ReadEnd]); gotN != wantN {
+				t.Fatalf("SMEM [%d,%d): interval size %d, want %d occurrences",
+					s.ReadBeg, s.ReadEnd, gotN, wantN)
+			}
+		}
+	})
+}

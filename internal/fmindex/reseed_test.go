@@ -20,6 +20,7 @@ func buildRepeatText(rng *rand.Rand, copies int) ([]byte, []byte) {
 }
 
 func TestFindSMEMsReseedFindsHiddenRepeatMatch(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(1))
 	text, tail := buildRepeatText(rng, 12)
 	bi := NewBi(text)
@@ -65,6 +66,7 @@ func TestFindSMEMsReseedFindsHiddenRepeatMatch(t *testing.T) {
 }
 
 func TestFindSMEMsReseedNoDuplicates(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(2))
 	for trial := 0; trial < 10; trial++ {
 		text, _ := buildRepeatText(rng, 8)
@@ -86,6 +88,7 @@ func TestFindSMEMsReseedNoDuplicates(t *testing.T) {
 }
 
 func TestRepeatSeedsProperties(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(3))
 	text, tail := buildRepeatText(rng, 15)
 	bi := NewBi(text)
@@ -127,6 +130,7 @@ func TestRepeatSeedsProperties(t *testing.T) {
 }
 
 func TestRepeatSeedsUniqueTextTilesRead(t *testing.T) {
+	t.Parallel()
 	// In unique sequence the pass still emits (low-occurrence) seeds —
 	// bwa's behaviour — roughly tiling the read at minLen granularity.
 	rng := rand.New(rand.NewSource(4))
@@ -140,6 +144,7 @@ func TestRepeatSeedsUniqueTextTilesRead(t *testing.T) {
 }
 
 func TestRepeatSeedsEmptyAndShortReads(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(5))
 	text := randomText(rng, 500)
 	bi := NewBi(text)

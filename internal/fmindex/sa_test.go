@@ -42,6 +42,7 @@ func randomText(rng *rand.Rand, n int) []byte {
 }
 
 func TestBuildSuffixArrayMatchesBruteForce(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 50; trial++ {
 		n := rng.Intn(200)
@@ -60,6 +61,7 @@ func TestBuildSuffixArrayMatchesBruteForce(t *testing.T) {
 }
 
 func TestBuildSuffixArrayRepetitiveText(t *testing.T) {
+	t.Parallel()
 	// Highly repetitive inputs stress the doubling logic.
 	texts := [][]byte{
 		{},
@@ -80,6 +82,7 @@ func TestBuildSuffixArrayRepetitiveText(t *testing.T) {
 }
 
 func TestBuildSuffixArrayIsPermutation(t *testing.T) {
+	t.Parallel()
 	f := func(raw []byte) bool {
 		text := make([]byte, len(raw))
 		for i, b := range raw {
@@ -101,6 +104,7 @@ func TestBuildSuffixArrayIsPermutation(t *testing.T) {
 }
 
 func TestBWTFromSA(t *testing.T) {
+	t.Parallel()
 	text := []byte{2, 0, 3, 3, 0, 1, 0} // GATTACA
 	sa := BuildSuffixArray(text)
 	bwt, primary := BWTFromSA(text, sa)

@@ -31,6 +31,7 @@ func bruteSMEMs(t, r []byte, minLen int) [][2]int {
 }
 
 func TestFindSMEMsMatchesBruteForce(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(6))
 	for trial := 0; trial < 40; trial++ {
 		text := randomText(rng, 150+rng.Intn(150))
@@ -77,6 +78,7 @@ func smemPairs(s []SMEM) [][2]int {
 }
 
 func TestFindSMEMsIntervalSizes(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(7))
 	text := randomText(rng, 400)
 	bi := NewBi(text)
@@ -94,6 +96,7 @@ func TestFindSMEMsIntervalSizes(t *testing.T) {
 }
 
 func TestBiExtendConsistency(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(8))
 	for trial := 0; trial < 15; trial++ {
 		text := randomText(rng, 200+rng.Intn(200))
@@ -120,6 +123,7 @@ func TestBiExtendConsistency(t *testing.T) {
 }
 
 func TestBiMixedExtensionOrder(t *testing.T) {
+	t.Parallel()
 	// Extending a pattern in any interleaving of left/right steps must
 	// give the same interval size.
 	rng := rand.New(rand.NewSource(9))
@@ -148,6 +152,7 @@ func TestBiMixedExtensionOrder(t *testing.T) {
 }
 
 func TestSeederFindsTrueLocation(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(10))
 	text := randomText(rng, 2000)
 	sd := NewSeeder(text)
@@ -175,6 +180,7 @@ func TestSeederFindsTrueLocation(t *testing.T) {
 }
 
 func TestSeederReverseStrand(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(11))
 	text := randomText(rng, 2000)
 	sd := NewSeeder(text)
@@ -214,6 +220,7 @@ func TestSeederReverseStrand(t *testing.T) {
 }
 
 func TestSeedsMaxOcc(t *testing.T) {
+	t.Parallel()
 	// A repetitive text generates many occurrences; maxOcc must cap them.
 	unit := []byte{0, 1, 2, 3, 0, 0, 1, 2, 3, 1, 2, 0, 3, 2, 1, 0, 2, 3, 0, 1, 3, 3, 2, 1}
 	var text []byte

@@ -16,6 +16,7 @@ func testAssembly(t *testing.T) *Assembly {
 }
 
 func TestAssemblyConcatAndTranslate(t *testing.T) {
+	t.Parallel()
 	a := testAssembly(t)
 	if a.Len() != 45000 {
 		t.Fatalf("len = %d", a.Len())
@@ -55,6 +56,7 @@ func TestAssemblyConcatAndTranslate(t *testing.T) {
 }
 
 func TestAssemblySpans(t *testing.T) {
+	t.Parallel()
 	a := testAssembly(t)
 	if a.Spans(100, 201) {
 		t.Error("in-chromosome interval flagged as spanning")
@@ -68,6 +70,7 @@ func TestAssemblySpans(t *testing.T) {
 }
 
 func TestAssemblyOffset(t *testing.T) {
+	t.Parallel()
 	a := testAssembly(t)
 	if off, err := a.Offset("H.sapiens-like_chr2"); err != nil || off != 20000 {
 		t.Errorf("Offset = %d, %v", off, err)
@@ -78,6 +81,7 @@ func TestAssemblyOffset(t *testing.T) {
 }
 
 func TestAssemblyFASTARoundTrip(t *testing.T) {
+	t.Parallel()
 	a := testAssembly(t)
 	var buf bytes.Buffer
 	if err := WriteAssemblyFASTA(&buf, a); err != nil {
@@ -96,6 +100,7 @@ func TestAssemblyFASTARoundTrip(t *testing.T) {
 }
 
 func TestAssemblyValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := NewAssembly(nil); err == nil {
 		t.Error("empty assembly accepted")
 	}
@@ -109,6 +114,7 @@ func TestAssemblyValidation(t *testing.T) {
 }
 
 func TestSimulateAssemblyReadsStayInChromosomes(t *testing.T) {
+	t.Parallel()
 	a := testAssembly(t)
 	cfg := ShortReadConfig(5)
 	reads := SimulateAssembly(a, 300, cfg)
@@ -120,6 +126,7 @@ func TestSimulateAssemblyReadsStayInChromosomes(t *testing.T) {
 }
 
 func TestAssemblyEndToEndAlignment(t *testing.T) {
+	t.Parallel()
 	// Index the concatenation, align, translate results back — the
 	// workflow nvwa-align uses for multi-FASTA references.
 	a := testAssembly(t)

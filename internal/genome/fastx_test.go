@@ -7,6 +7,7 @@ import (
 )
 
 func TestFASTARoundTrip(t *testing.T) {
+	t.Parallel()
 	ref := Generate(HumanLike(), 500, 8)
 	ref.Name = "chrTest"
 	var buf bytes.Buffer
@@ -26,6 +27,7 @@ func TestFASTARoundTrip(t *testing.T) {
 }
 
 func TestReadFASTAFirstRecordOnly(t *testing.T) {
+	t.Parallel()
 	in := ">one desc\nACGT\nAC\n>two\nGGGG\n"
 	ref, err := ReadFASTA(strings.NewReader(in))
 	if err != nil {
@@ -37,6 +39,7 @@ func TestReadFASTAFirstRecordOnly(t *testing.T) {
 }
 
 func TestReadFASTAErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := ReadFASTA(strings.NewReader("")); err == nil {
 		t.Error("empty input should fail")
 	}
@@ -46,6 +49,7 @@ func TestReadFASTAErrors(t *testing.T) {
 }
 
 func TestFASTQRoundTrip(t *testing.T) {
+	t.Parallel()
 	ref := Generate(HumanLike(), 5000, 8)
 	reads := Simulate(ref, 25, ShortReadConfig(3))
 	var buf bytes.Buffer
@@ -73,6 +77,7 @@ func TestFASTQRoundTrip(t *testing.T) {
 }
 
 func TestWriteFASTQDefaultQual(t *testing.T) {
+	t.Parallel()
 	reads := []Read{{Name: "r", Seq: []byte{0, 1, 2, 3}}}
 	var buf bytes.Buffer
 	if err := WriteFASTQ(&buf, reads); err != nil {
@@ -88,6 +93,7 @@ func TestWriteFASTQDefaultQual(t *testing.T) {
 }
 
 func TestReadFASTQErrors(t *testing.T) {
+	t.Parallel()
 	cases := []string{
 		"ACGT\n",                  // no @
 		"@r\nACGT\n",              // truncated

@@ -8,6 +8,7 @@ import (
 )
 
 func TestGenerateLengthAndDeterminism(t *testing.T) {
+	t.Parallel()
 	p := HumanLike()
 	a := Generate(p, 10000, 42)
 	b := Generate(p, 10000, 42)
@@ -24,6 +25,7 @@ func TestGenerateLengthAndDeterminism(t *testing.T) {
 }
 
 func TestGenerateGCApproximatesProfile(t *testing.T) {
+	t.Parallel()
 	p := HumanLike()
 	ref := Generate(p, 200000, 1)
 	gc := seq.GC(ref.Seq)
@@ -33,6 +35,7 @@ func TestGenerateGCApproximatesProfile(t *testing.T) {
 }
 
 func TestGenerateHasRepeats(t *testing.T) {
+	t.Parallel()
 	// A genome with interspersed repeats must contain some k-mer many
 	// times; a uniform random genome of this size essentially never
 	// repeats a 16-mer 10 times.
@@ -54,6 +57,7 @@ func TestGenerateHasRepeats(t *testing.T) {
 }
 
 func TestSimulateBasicProperties(t *testing.T) {
+	t.Parallel()
 	ref := Generate(HumanLike(), 50000, 3)
 	cfg := ShortReadConfig(9)
 	reads := Simulate(ref, 200, cfg)
@@ -77,6 +81,7 @@ func TestSimulateBasicProperties(t *testing.T) {
 }
 
 func TestSimulateErrorRate(t *testing.T) {
+	t.Parallel()
 	ref := Generate(HumanLike(), 100000, 5)
 	cfg := SimulatorConfig{ReadLen: 101, SubRate: 0.01, RevCompProb: 0, Seed: 11}
 	reads := Simulate(ref, 500, cfg)
@@ -97,6 +102,7 @@ func TestSimulateErrorRate(t *testing.T) {
 }
 
 func TestSimulateStrandMix(t *testing.T) {
+	t.Parallel()
 	ref := Generate(HumanLike(), 50000, 3)
 	reads := Simulate(ref, 400, ShortReadConfig(21))
 	rev := 0
@@ -111,6 +117,7 @@ func TestSimulateStrandMix(t *testing.T) {
 }
 
 func TestSimulatePanicsOnBadConfig(t *testing.T) {
+	t.Parallel()
 	ref := Generate(HumanLike(), 1000, 3)
 	defer func() {
 		if recover() == nil {
@@ -121,6 +128,7 @@ func TestSimulatePanicsOnBadConfig(t *testing.T) {
 }
 
 func TestLongReadConfig(t *testing.T) {
+	t.Parallel()
 	ref := Generate(ElegansLike, 50000, 4)
 	reads := Simulate(ref, 10, LongReadConfig(2))
 	for _, r := range reads {

@@ -6,6 +6,7 @@ import (
 )
 
 func TestPairInsertDistribution(t *testing.T) {
+	t.Parallel()
 	ref := Generate(HumanLike(), 60000, 101)
 	cfg := DefaultPairConfig(102)
 	pairs := SimulatePairs(ref, 600, cfg)
@@ -26,6 +27,7 @@ func TestPairInsertDistribution(t *testing.T) {
 }
 
 func TestPairFragmentsMatchReference(t *testing.T) {
+	t.Parallel()
 	// With zero error rates, R1 equals the fragment start and R2 the
 	// reverse complement of the fragment end, exactly.
 	ref := Generate(HumanLike(), 50000, 103)
@@ -45,6 +47,7 @@ func TestPairFragmentsMatchReference(t *testing.T) {
 }
 
 func TestSimulatePairsPanics(t *testing.T) {
+	t.Parallel()
 	ref := Generate(HumanLike(), 400, 105)
 	defer func() {
 		if recover() == nil {
@@ -55,6 +58,7 @@ func TestSimulatePairsPanics(t *testing.T) {
 }
 
 func TestGenerateProfilesAreDistinct(t *testing.T) {
+	t.Parallel()
 	// The Fig. 14 species proxies must produce genuinely different
 	// sequences and different repeat statistics under the same seed.
 	profiles := []Profile{HumanLike(), ClitarchusLike, ZapusLike, CamelusLike, VenustaLike, ElegansLike}
@@ -70,6 +74,7 @@ func TestGenerateProfilesAreDistinct(t *testing.T) {
 }
 
 func TestFragmentFractionDrivesMultiMapping(t *testing.T) {
+	t.Parallel()
 	// More repeat fragments must produce more multi-chain reads — the
 	// knob behind the short-hit mass of the Fig. 9(a) distribution.
 	base := HumanLike()

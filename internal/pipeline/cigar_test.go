@@ -8,6 +8,7 @@ import (
 )
 
 func TestCigarRoundTrip(t *testing.T) {
+	t.Parallel()
 	a, ref := testAligner(t, 50000, 23)
 	reads := genome.Simulate(ref, 60, genome.ShortReadConfig(24))
 	traced := 0
@@ -48,6 +49,7 @@ func TestCigarRoundTrip(t *testing.T) {
 }
 
 func TestCigarUnalignedRead(t *testing.T) {
+	t.Parallel()
 	a, _ := testAligner(t, 30000, 25)
 	if _, err := a.Cigar(make([]byte, 101), Result{}); err == nil {
 		t.Error("Cigar on an unaligned result must error")
@@ -55,6 +57,7 @@ func TestCigarUnalignedRead(t *testing.T) {
 }
 
 func TestCigarPerfectRead(t *testing.T) {
+	t.Parallel()
 	a, ref := testAligner(t, 30000, 26)
 	read := ref.Seq[4000:4101].Clone()
 	res := a.Align(0, read)

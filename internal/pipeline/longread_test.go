@@ -8,12 +8,17 @@ import (
 )
 
 func TestLongReadAlignerAccuracy(t *testing.T) {
-	ref := genome.Generate(genome.HumanLike(), 120000, 201)
+	t.Parallel()
+	refLen, nReads := 120000, 60
+	if testing.Short() {
+		refLen, nReads = 60000, 30
+	}
+	ref := genome.Generate(genome.HumanLike(), refLen, 201)
 	l, err := NewLongReadAligner(ref.Seq, 10, 15)
 	if err != nil {
 		t.Fatal(err)
 	}
-	recs := genome.Simulate(ref, 60, genome.LongReadConfig(202))
+	recs := genome.Simulate(ref, nReads, genome.LongReadConfig(202))
 	reads := make([]seq.Seq, len(recs))
 	truth := make([]int, len(recs))
 	for i, r := range recs {
@@ -33,15 +38,16 @@ func TestLongReadAlignerAccuracy(t *testing.T) {
 			}
 		}
 	}
-	if found < 55 {
-		t.Errorf("mapped only %d/60 long reads", found)
+	if found < nReads*11/12 {
+		t.Errorf("mapped only %d/%d long reads", found, nReads)
 	}
-	if correct < 50 {
-		t.Errorf("correct locus for only %d/60 long reads", correct)
+	if correct < nReads*5/6 {
+		t.Errorf("correct locus for only %d/%d long reads", correct, nReads)
 	}
 }
 
 func TestLongReadAlignerScoresScaleWithLength(t *testing.T) {
+	t.Parallel()
 	// A 1 kbp read at 5% sub + 2%+2% indel error should still recover
 	// the majority of its bases as matches.
 	ref := genome.Generate(genome.HumanLike(), 80000, 203)
@@ -69,6 +75,7 @@ func TestLongReadAlignerScoresScaleWithLength(t *testing.T) {
 }
 
 func TestLongReadAlignerGarbage(t *testing.T) {
+	t.Parallel()
 	ref := genome.Generate(genome.HumanLike(), 40000, 205)
 	l, _ := NewLongReadAligner(ref.Seq, 10, 15)
 	junk := make(seq.Seq, 1000) // poly-A

@@ -7,6 +7,7 @@ import (
 )
 
 func TestMinimizerSeederHitInvariants(t *testing.T) {
+	t.Parallel()
 	a, ref := testAligner(t, 60000, 91)
 	ms, err := NewMinimizerSeeder(a, 5, 15)
 	if err != nil {
@@ -36,6 +37,7 @@ func TestMinimizerSeederHitInvariants(t *testing.T) {
 }
 
 func TestMinimizerSeederFindsTrueLocusBothStrands(t *testing.T) {
+	t.Parallel()
 	a, ref := testAligner(t, 60000, 93)
 	ms, err := NewMinimizerSeeder(a, 5, 15)
 	if err != nil {
@@ -63,6 +65,7 @@ func TestMinimizerSeederFindsTrueLocusBothStrands(t *testing.T) {
 }
 
 func TestMinimizerSeederShortRead(t *testing.T) {
+	t.Parallel()
 	a, _ := testAligner(t, 30000, 95)
 	ms, err := NewMinimizerSeeder(a, 5, 15)
 	if err != nil {
@@ -75,6 +78,7 @@ func TestMinimizerSeederShortRead(t *testing.T) {
 }
 
 func TestMinimizerSeederBadParams(t *testing.T) {
+	t.Parallel()
 	a, _ := testAligner(t, 30000, 97)
 	if _, err := NewMinimizerSeeder(a, 0, 15); err == nil {
 		t.Error("w=0 accepted")

@@ -21,6 +21,7 @@ func testAligner(t *testing.T, refLen int, seed int64) (*Aligner, *genome.Refere
 }
 
 func TestAlignRecoversTruePositions(t *testing.T) {
+	t.Parallel()
 	a, ref := testAligner(t, 60000, 1)
 	reads := genome.Simulate(ref, 150, genome.ShortReadConfig(2))
 	correct, found := 0, 0
@@ -45,6 +46,7 @@ func TestAlignRecoversTruePositions(t *testing.T) {
 }
 
 func TestAlignStrandReporting(t *testing.T) {
+	t.Parallel()
 	a, ref := testAligner(t, 60000, 3)
 	reads := genome.Simulate(ref, 100, genome.ShortReadConfig(4))
 	agree := 0
@@ -60,6 +62,7 @@ func TestAlignStrandReporting(t *testing.T) {
 }
 
 func TestAlignPerfectReadScore(t *testing.T) {
+	t.Parallel()
 	a, ref := testAligner(t, 30000, 5)
 	// An error-free read must score exactly its length (all matches).
 	rng := rand.New(rand.NewSource(6))
@@ -77,6 +80,7 @@ func TestAlignPerfectReadScore(t *testing.T) {
 }
 
 func TestSeedAndChainProducesValidHits(t *testing.T) {
+	t.Parallel()
 	a, ref := testAligner(t, 60000, 7)
 	reads := genome.Simulate(ref, 60, genome.ShortReadConfig(8))
 	for _, r := range reads {
@@ -129,6 +133,7 @@ func TestSeedAndChainProducesValidHits(t *testing.T) {
 }
 
 func TestSeedAndChainRespectsMaxChains(t *testing.T) {
+	t.Parallel()
 	opts := DefaultOptions()
 	opts.MaxChains = 2
 	ref := genome.Generate(genome.HumanLike(), 60000, 9)
@@ -143,6 +148,7 @@ func TestSeedAndChainRespectsMaxChains(t *testing.T) {
 }
 
 func TestExtendHitMatchesFinish(t *testing.T) {
+	t.Parallel()
 	a, ref := testAligner(t, 40000, 11)
 	reads := genome.Simulate(ref, 50, genome.ShortReadConfig(12))
 	for _, r := range reads {
@@ -162,6 +168,7 @@ func TestExtendHitMatchesFinish(t *testing.T) {
 }
 
 func TestExtendDims(t *testing.T) {
+	t.Parallel()
 	a, _ := testAligner(t, 40000, 13)
 	h := hitAt(1000, 20, 60, 101)
 	lr, lq, rr, rq := a.ExtendDims(h)
@@ -180,6 +187,7 @@ func TestExtendDims(t *testing.T) {
 }
 
 func TestProfileRecordsBothPhases(t *testing.T) {
+	t.Parallel()
 	a, ref := testAligner(t, 40000, 15)
 	reads := genome.Simulate(ref, 30, genome.ShortReadConfig(16))
 	seqs := make([]seq.Seq, len(reads))
@@ -207,6 +215,7 @@ func TestProfileRecordsBothPhases(t *testing.T) {
 }
 
 func TestAlignAllMatchesSequential(t *testing.T) {
+	t.Parallel()
 	a, ref := testAligner(t, 40000, 17)
 	reads := genome.Simulate(ref, 40, genome.ShortReadConfig(18))
 	seqs := make([]seq.Seq, len(reads))
@@ -226,6 +235,7 @@ func TestAlignAllMatchesSequential(t *testing.T) {
 }
 
 func TestHitLengths(t *testing.T) {
+	t.Parallel()
 	a, ref := testAligner(t, 40000, 19)
 	reads := genome.Simulate(ref, 30, genome.ShortReadConfig(20))
 	seqs := make([]seq.Seq, len(reads))

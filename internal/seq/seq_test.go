@@ -7,6 +7,7 @@ import (
 )
 
 func TestEncodeDecodeBase(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		in   byte
 		want Base
@@ -28,6 +29,7 @@ func TestEncodeDecodeBase(t *testing.T) {
 }
 
 func TestComplement(t *testing.T) {
+	t.Parallel()
 	pairs := [][2]byte{{'A', 'T'}, {'C', 'G'}, {'G', 'C'}, {'T', 'A'}}
 	for _, p := range pairs {
 		if got := DecodeBase(Complement(EncodeBase(p[0]))); got != p[1] {
@@ -37,6 +39,7 @@ func TestComplement(t *testing.T) {
 }
 
 func TestEncodeString(t *testing.T) {
+	t.Parallel()
 	s := Encode("ACGTACGT")
 	if s.String() != "ACGTACGT" {
 		t.Fatalf("round trip failed: %q", s.String())
@@ -44,6 +47,7 @@ func TestEncodeString(t *testing.T) {
 }
 
 func TestRevComp(t *testing.T) {
+	t.Parallel()
 	s := Encode("AACGT")
 	rc := s.RevComp()
 	if rc.String() != "ACGTT" {
@@ -52,6 +56,7 @@ func TestRevComp(t *testing.T) {
 }
 
 func TestRevCompInvolution(t *testing.T) {
+	t.Parallel()
 	f := func(raw []byte) bool {
 		s := make(Seq, len(raw))
 		for i, b := range raw {
@@ -65,6 +70,7 @@ func TestRevCompInvolution(t *testing.T) {
 }
 
 func TestPackRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := func(raw []byte) bool {
 		s := make(Seq, len(raw))
 		for i, b := range raw {
@@ -78,6 +84,7 @@ func TestPackRoundTrip(t *testing.T) {
 }
 
 func TestPackedAt(t *testing.T) {
+	t.Parallel()
 	s := Encode("GATTACA")
 	p := Pack(s)
 	if p.Len() != 7 {
@@ -91,6 +98,7 @@ func TestPackedAt(t *testing.T) {
 }
 
 func TestPackedAtPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic for out-of-range index")
@@ -100,6 +108,7 @@ func TestPackedAtPanics(t *testing.T) {
 }
 
 func TestPackedSliceClamps(t *testing.T) {
+	t.Parallel()
 	p := Pack(Encode("ACGTACGT"))
 	if got := p.Slice(-5, 100).String(); got != "ACGTACGT" {
 		t.Errorf("clamped slice = %q", got)
@@ -113,6 +122,7 @@ func TestPackedSliceClamps(t *testing.T) {
 }
 
 func TestPackedAppend(t *testing.T) {
+	t.Parallel()
 	p := Pack(Encode("ACG"))
 	p.Append(Encode("TTT"))
 	if got := p.Unpack().String(); got != "ACGTTT" {
@@ -127,6 +137,7 @@ func TestPackedAppend(t *testing.T) {
 }
 
 func TestRandomLengthAndRange(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(1))
 	s := Random(rng, 1000)
 	if len(s) != 1000 {
@@ -140,6 +151,7 @@ func TestRandomLengthAndRange(t *testing.T) {
 }
 
 func TestGC(t *testing.T) {
+	t.Parallel()
 	if got := GC(Encode("GGCC")); got != 1 {
 		t.Errorf("GC(GGCC) = %v", got)
 	}
@@ -155,6 +167,7 @@ func TestGC(t *testing.T) {
 }
 
 func TestClone(t *testing.T) {
+	t.Parallel()
 	s := Encode("ACGT")
 	c := s.Clone()
 	c[0] = 3

@@ -15,6 +15,7 @@ func setup(t *testing.T) (*pipeline.Aligner, *genome.Reference, *mem.HBM) {
 }
 
 func TestProcessMatchesSoftwareHits(t *testing.T) {
+	t.Parallel()
 	a, ref, hbm := setup(t)
 	u := New(0, a, hbm, DefaultCostModel())
 	reads := genome.Simulate(ref, 40, genome.ShortReadConfig(2))
@@ -39,6 +40,7 @@ func TestProcessMatchesSoftwareHits(t *testing.T) {
 }
 
 func TestProcessCyclesAreInputSensitive(t *testing.T) {
+	t.Parallel()
 	// The paper's Challenge-1: per-read seeding time varies. Over a
 	// batch of simulated reads the completion cycles must not be
 	// constant.
@@ -66,6 +68,7 @@ func TestProcessCyclesAreInputSensitive(t *testing.T) {
 }
 
 func TestProcessCyclesScaleWithCostModel(t *testing.T) {
+	t.Parallel()
 	a, ref, _ := setup(t)
 	reads := genome.Simulate(ref, 10, genome.ShortReadConfig(4))
 	cheap := New(0, a, mem.NewHBM(mem.HBM1()), CostModel{OccCycles: 1, FixedOverhead: 1, SARecordBytes: 16})
@@ -80,6 +83,7 @@ func TestProcessCyclesScaleWithCostModel(t *testing.T) {
 }
 
 func TestUnitStateTransitions(t *testing.T) {
+	t.Parallel()
 	a, _, hbm := setup(t)
 	u := New(3, a, hbm, DefaultCostModel())
 	if u.State().String() != "idle" {
@@ -106,6 +110,7 @@ func TestUnitStateTransitions(t *testing.T) {
 }
 
 func TestProcessChargesHBM(t *testing.T) {
+	t.Parallel()
 	a, ref, hbm := setup(t)
 	u := New(0, a, hbm, DefaultCostModel())
 	reads := genome.Simulate(ref, 20, genome.ShortReadConfig(5))
@@ -118,6 +123,7 @@ func TestProcessChargesHBM(t *testing.T) {
 }
 
 func TestSerializeDRAMSlowsUnit(t *testing.T) {
+	t.Parallel()
 	// Without ERT-style intra-unit switching (paper Sec. IV-B), the SA
 	// walks expose their DRAM latency serially; the unit must never be
 	// faster that way.

@@ -19,6 +19,12 @@
 // -json FILE times every parallelizable experiment twice — serial and
 // parallel — and writes per-experiment wall-clock rows with speedups
 // (plus a determinism check of the two outputs) to FILE.
+//
+// -trace FILE and -metrics FILE attach the observability layer to the
+// fig12 NvWa run (select it with -exp fig12 or -exp all) and export a
+// Chrome trace_event timeline and a JSON metrics snapshot. Observation
+// never changes results. -cpuprofile/-memprofile write pprof profiles
+// of the bench process.
 package main
 
 import (
@@ -27,10 +33,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"nvwa/internal/experiments"
+	"nvwa/internal/obs"
 )
 
 func main() {
@@ -41,7 +49,35 @@ func main() {
 	parallel := flag.Bool("parallel", false, "fan independent experiment configurations across a worker pool")
 	jobs := flag.Int("j", 0, "worker count for -parallel (0 = GOMAXPROCS; >1 implies -parallel)")
 	jsonOut := flag.String("json", "", "time serial vs parallel for each multi-config experiment and write JSON rows to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event timeline of the fig12 NvWa run to FILE")
+	metricsOut := flag.String("metrics", "", "write a JSON metrics snapshot of the fig12 NvWa run to FILE")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the bench to FILE")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to FILE")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
+	}
 
 	runner := experiments.Serial()
 	if *parallel || *jobs > 1 {
@@ -105,7 +141,18 @@ func main() {
 		ran++
 	}
 	if need("fig12") {
-		fmt.Println(experiments.Fig12(getEnv()).Format())
+		if *traceOut != "" || *metricsOut != "" {
+			ob := obs.New()
+			fmt.Println(experiments.Fig12Observed(getEnv(), ob).Format())
+			if err := ob.Inv.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "nvwa-bench: scheduler invariant violated:", err)
+			}
+			if err := writeObs(ob, *traceOut, *metricsOut); err != nil {
+				fail(err)
+			}
+		} else {
+			fmt.Println(experiments.Fig12(getEnv()).Format())
+		}
 		ran++
 	}
 	if need("fig13a") {
@@ -159,6 +206,33 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// writeObs exports the observer's trace and metrics artifacts.
+func writeObs(ob *obs.Observer, tracePath, metricsPath string) error {
+	write := func(path string, emit func(f *os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(tracePath, func(f *os.File) error { return ob.Trace.WriteJSON(f) }); err != nil {
+		return err
+	}
+	return write(metricsPath, func(f *os.File) error { return ob.Metrics.WriteJSON(f) })
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "nvwa-bench:", err)
+	os.Exit(1)
 }
 
 // benchRow is one serial-versus-parallel timing comparison.

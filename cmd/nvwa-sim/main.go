@@ -8,6 +8,16 @@
 //	         [-sus N] [-buffer N] [-seeding one-cycle|batch]
 //	         [-alloc grouped|exclusive|shared|fifo]
 //	         [-pool derived|table1|uniform]
+//	         [-trace FILE] [-metrics FILE]
+//	         [-cpuprofile FILE] [-memprofile FILE]
+//
+// -trace writes a Chrome trace_event timeline of the run (open in
+// Perfetto or chrome://tracing; 1 simulated cycle = 1 µs). -metrics
+// writes a JSON snapshot of every counter, gauge, histogram, and time
+// series the simulated machine emitted. Either flag attaches the
+// observability layer, which never changes the simulation: the report
+// is identical with or without it. -cpuprofile/-memprofile write
+// pprof profiles of the simulator process itself.
 package main
 
 import (
@@ -15,10 +25,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"nvwa"
 	"nvwa/internal/accel"
 	"nvwa/internal/coordinator"
+	"nvwa/internal/obs"
 )
 
 func main() {
@@ -32,7 +45,22 @@ func main() {
 	pool := flag.String("pool", "derived", "EU pool: derived (Eq. 5 from workload), table1, uniform")
 	frontend := flag.String("frontend", "fm", "seeding front end: fm (BWA-MEM three-pass) or minimizer")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON instead of text")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event timeline of the run to FILE")
+	metricsOut := flag.String("metrics", "", "write a JSON metrics snapshot of the run to FILE")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator to FILE")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to FILE")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	ref := nvwa.GenerateReference(nvwa.HumanLikeProfile(), *refLen, *seed)
 	aligner := nvwa.NewAligner(ref)
@@ -89,11 +117,39 @@ func main() {
 		fail(fmt.Errorf("unknown frontend %q", *frontend))
 	}
 
+	var ob *obs.Observer
+	if *traceOut != "" || *metricsOut != "" {
+		ob = obs.New()
+		opts.Obs = ob
+	}
+
 	acc, err := nvwa.NewAccelerator(aligner, opts)
 	if err != nil {
 		fail(err)
 	}
 	rep := acc.Run(seqs)
+
+	if ob != nil {
+		if err := ob.Inv.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "nvwa-sim: scheduler invariant violated:", err)
+		}
+		if err := writeObs(ob, *traceOut, *metricsOut); err != nil {
+			fail(err)
+		}
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
+	}
 
 	if *jsonOut {
 		rep.Results = nil // per-read results dominate the payload; omit
@@ -131,6 +187,28 @@ func sample(seqs []nvwa.Sequence, n int) []nvwa.Sequence {
 		return seqs
 	}
 	return seqs[:n]
+}
+
+// writeObs exports the observer's trace and metrics artifacts.
+func writeObs(ob *obs.Observer, tracePath, metricsPath string) error {
+	write := func(path string, emit func(f *os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(tracePath, func(f *os.File) error { return ob.Trace.WriteJSON(f) }); err != nil {
+		return err
+	}
+	return write(metricsPath, func(f *os.File) error { return ob.Metrics.WriteJSON(f) })
 }
 
 func fail(err error) {

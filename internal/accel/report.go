@@ -1,6 +1,8 @@
 package accel
 
 import (
+	"fmt"
+
 	"nvwa/internal/coordinator"
 	"nvwa/internal/energy"
 	"nvwa/internal/mem"
@@ -106,5 +108,32 @@ func (s *System) report(end int64) *Report {
 	if peTotal > 0 {
 		r.EUPEUtil = peBusy / peTotal
 	}
+	s.finalizeObs(r, end)
 	return r
+}
+
+// finalizeObs exports the run's headline figures into the metrics
+// registry so a -metrics snapshot carries the same SU/EU utilizations
+// as the Report (they are the same values, so they agree exactly).
+// The Report itself is never touched by observation: it is
+// byte-identical with Obs set or nil.
+func (s *System) finalizeObs(r *Report, end int64) {
+	o := s.opts.Obs
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	m := o.Metrics
+	m.Gauge("sim.cycles").Set(float64(end))
+	m.Gauge("throughput.reads_per_sec").Set(r.ThroughputReadsPerSec)
+	m.Gauge("su.utilization").Set(r.SUUtil)
+	m.Gauge("eu.utilization").Set(r.EUUtil)
+	m.Gauge("eu.pe_utilization").Set(r.EUPEUtil)
+	m.Gauge("alloc.optimal_fraction").Set(r.AllocStats.OptimalFraction())
+	for ci, u := range r.PerClassEUUtil {
+		m.Gauge(fmt.Sprintf("eu.class%d.utilization", ci)).Set(u)
+	}
+	m.Gauge("hbm.bytes").Set(float64(r.HBM.Bytes))
+	m.Gauge("hbm.accesses").Set(float64(r.HBM.Accesses))
+	m.Gauge("coordinator.switches_total").Set(float64(r.Switches))
+	m.Gauge("sim.clamped_schedules_total").Set(float64(s.eng.Clamps()))
 }

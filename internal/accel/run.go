@@ -34,8 +34,12 @@ func (s *System) Run(reads []seq.Seq) *Report {
 		s.eng.At(0, s.issueBatch)
 	}
 	s.eng.Run()
+	s.drain()
 
 	end := s.eng.Now()
+	if o := s.opts.Obs; o != nil {
+		o.Inv.CheckDrained(end, s.buffer.SBLen(), s.buffer.PBRemaining(), len(s.blocked))
+	}
 	for _, u := range s.sus {
 		u.SetIdle(end)
 	}
@@ -109,7 +113,7 @@ func (s *System) finishPush(u *su.Unit, hits []core.Hit) {
 	for len(hits) > 0 {
 		if !s.buffer.Push(hits[0]) {
 			u.SetIdle(now) // suspended: not doing useful seeding work
-			s.blocked = append(s.blocked, blockedSU{unit: u, hits: hits})
+			s.blocked = append(s.blocked, blockedSU{unit: u, hits: hits, since: now})
 			s.maybeSwitch()
 			return
 		}
@@ -147,7 +151,12 @@ func (s *System) maybeSwitch() {
 	s.blocked = nil
 	for _, b := range blocked {
 		bb := b
-		s.eng.At(now+1, func() { s.finishPush(bb.unit, bb.hits) })
+		s.eng.At(now+1, func() {
+			if o := s.opts.Obs; o != nil {
+				o.SUStall(bb.unit.ID(), bb.since, s.eng.Now())
+			}
+			s.finishPush(bb.unit, bb.hits)
+		})
 	}
 	s.eng.At(now+1, s.tryRound)
 }
@@ -191,7 +200,20 @@ func (s *System) tryRound() {
 		return
 	}
 	window := s.buffer.Window(s.opts.Config.AllocBatch)
+	o := s.opts.Obs
+	var winBefore []core.Hit
+	if o != nil {
+		winBefore = o.Inv.SnapshotWindow(window)
+	}
 	assigned, un := s.alloc.Allocate(window, idle)
+	if o != nil {
+		// The window aliases the PB: Allocate must not have mutated it
+		// (the Commit compaction below reads the same backing array).
+		o.Inv.CheckWindowUnchanged(now, winBefore, window)
+		o.AllocRound(now, len(window), len(assigned), len(un), len(idle),
+			coordinator.RoundLatency(len(window)))
+		s.observeRound(now, idle, assigned)
+	}
 	if len(assigned) == 0 {
 		return
 	}
@@ -200,6 +222,9 @@ func (s *System) tryRound() {
 		allocHits[i] = a.Hit
 	}
 	s.buffer.Commit(allocHits, un)
+	if o != nil {
+		o.Inv.CheckConservation(now, int64(s.buffer.SBLen()+s.buffer.PBRemaining()), "round")
+	}
 	s.roundActive = true
 	// Reserve the assigned units for the duration of the round.
 	for _, a := range assigned {
@@ -214,10 +239,73 @@ func (s *System) tryRound() {
 	})
 }
 
+// observeRound feeds the invariant checker and the per-class idle
+// depth series from one allocation round's inputs.
+func (s *System) observeRound(now int64, idle []coordinator.IdleUnit, assigned []coordinator.Assignment) {
+	o := s.opts.Obs
+	idleIDs := make([]int, len(idle))
+	perClass := make([]int, len(s.opts.Config.EUClasses))
+	for i, u := range idle {
+		idleIDs[i] = u.ID
+		if u.Class >= 0 && u.Class < len(perClass) {
+			perClass[u.Class]++
+		}
+	}
+	assignedIDs := make([]int, len(assigned))
+	for i, a := range assigned {
+		assignedIDs[i] = a.Unit.ID
+	}
+	o.Inv.CheckRound(now, idleIDs, assignedIDs)
+	for ci, n := range perClass {
+		o.EUClassIdle(now, ci, n)
+	}
+}
+
+// drain guarantees the end-of-input contract: once the event queue
+// empties, no hit may be stranded in the Coordinator — neither a
+// final sub-threshold Store Buffer nor leftover Processing Buffer
+// entries nor a suspended SU's unpushed hits. The event-driven paths
+// drain every healthy configuration on their own (each EU completion
+// re-consults the trigger with the threshold waived), so this loop
+// normally exits on its first check. It exists for the pathological
+// tails — e.g. the Exclusive strategy facing a hit whose optimal class
+// has zero units, where no future event could ever place the hit.
+// Such provably unallocatable hits are dropped explicitly with a
+// recorded reason, keeping the hit-conservation invariant
+// (pushed == assigned + pending + dropped) auditable instead of
+// letting hits vanish silently.
+func (s *System) drain() {
+	for {
+		if s.buffer.SBLen() == 0 && s.buffer.PBRemaining() == 0 && len(s.blocked) == 0 {
+			return
+		}
+		pb, sb, bl, at := s.buffer.PBRemaining(), s.buffer.SBLen(), len(s.blocked), s.eng.Now()
+		s.maybeSwitch()
+		s.tryRound()
+		s.eng.Run()
+		if s.buffer.PBRemaining() == pb && s.buffer.SBLen() == sb &&
+			len(s.blocked) == bl && s.eng.Now() == at {
+			// No event moved anything: the window at the PB offset is
+			// unallocatable under the configured strategy even with the
+			// whole pool idle. Drop it with a reason and keep draining.
+			n := len(s.buffer.Window(s.opts.Config.AllocBatch))
+			if s.buffer.Drop(n, "unallocatable") == 0 {
+				// Nothing droppable either (e.g. a buffer switch is
+				// impossible because input never ended): leave the rest
+				// to the drain invariant, which will flag it.
+				return
+			}
+		}
+	}
+}
+
 // dispatch starts one extension task on its assigned unit.
 func (s *System) dispatch(a coordinator.Assignment) {
 	now := s.eng.Now()
 	u := s.eus[a.Unit.ID]
+	if o := s.opts.Obs; o != nil {
+		o.MemoLookup(s.memo != nil)
+	}
 	var oriented seq.Seq
 	if s.memo != nil {
 		// Replay mode: reuse the cached oriented view instead of

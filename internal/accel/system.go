@@ -19,6 +19,7 @@ import (
 	"nvwa/internal/eu"
 	"nvwa/internal/extsched"
 	"nvwa/internal/mem"
+	"nvwa/internal/obs"
 	"nvwa/internal/pipeline"
 	"nvwa/internal/seedsched"
 	"nvwa/internal/seq"
@@ -72,6 +73,13 @@ type Options struct {
 	// Replayed runs produce byte-identical Reports to direct runs; the
 	// cache only removes redundant recomputation from the event loop.
 	Memo *Memo
+	// Obs optionally attaches the observability layer: a metrics
+	// registry, a Chrome trace_event timeline, and the scheduler
+	// invariant checker, threaded through every component of the
+	// simulated machine. nil (the default) disables observation at the
+	// cost of one pointer test per hook. Observation never changes the
+	// simulation: Reports are byte-identical with Obs set or nil.
+	Obs *obs.Observer
 }
 
 // NvWaOptions returns the full NvWa system (all three mechanisms on).
@@ -127,8 +135,9 @@ type System struct {
 }
 
 type blockedSU struct {
-	unit *su.Unit
-	hits []core.Hit
+	unit  *su.Unit
+	hits  []core.Hit
+	since int64 // suspension start cycle, for the stall-span trace
 }
 
 // New builds a system over an existing aligner (which owns the index).
@@ -168,6 +177,24 @@ func New(aligner *pipeline.Aligner, opts Options) (*System, error) {
 		for k := 0; k < cl.Count; k++ {
 			s.eus = append(s.eus, eu.New(id, ci, cl.PEs, ext, opts.EUCost))
 			id++
+		}
+	}
+	if o := opts.Obs; o != nil {
+		// Thread the observer through every component: the engine's
+		// clamp/advance hooks feed the clamp counter and the monotone-
+		// time invariant, the buffer emits occupancy/switch events, the
+		// trigger and prefetcher count their decisions, and each unit
+		// emits its task spans.
+		s.eng.OnClamp = o.EngineClamp
+		s.eng.OnAdvance = o.EngineAdvance
+		s.buffer.AttachObs(o, s.eng.Now)
+		s.trigger.AttachObs(o)
+		s.prefet.AttachObs(o)
+		for _, u := range s.sus {
+			u.AttachObs(o)
+		}
+		for _, u := range s.eus {
+			u.AttachObs(o)
 		}
 	}
 	return s, nil

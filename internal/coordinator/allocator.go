@@ -96,10 +96,17 @@ func NewAllocator(classes []core.EUClass, strategy Strategy) *Allocator {
 // SetStatsSizes measures assignment quality against a canonical PE
 // ladder (e.g. 16/32/64/128) instead of the pool's own classes, so
 // heterogeneous and uniform pools are judged on the same scale.
+//
+// Changing the ladder resets the whole quality ledger — the per-class
+// tallies AND the optimal/near-optimal totals — so Stats() can never
+// report totals that diverge from the per-class sums (the invariant
+// Optimal+NearOptimal == sum(PerClassTotal)).
 func (a *Allocator) SetStatsSizes(sizes []int) {
 	a.statsSizes = append([]int(nil), sizes...)
 	a.perClassOpt = make([]int, len(sizes))
 	a.perClassTotal = make([]int, len(sizes))
+	a.optimal = 0
+	a.nearOptimal = 0
 }
 
 // statsClass returns the canonical class of a hit length.

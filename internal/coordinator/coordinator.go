@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"nvwa/internal/core"
+	"nvwa/internal/obs"
 )
 
 // HitsBuffer is the Coordinator's double buffer. SUs push into the
@@ -23,6 +24,9 @@ type HitsBuffer struct {
 	pb        []core.Hit
 	offset    int
 	switches  int
+
+	obs   *obs.Observer
+	clock func() int64
 }
 
 // NewHitsBuffer builds a buffer of the given per-side depth and switch
@@ -40,14 +44,36 @@ func NewHitsBuffer(depth int, threshold float64) *HitsBuffer {
 // Depth returns the per-side capacity in hits.
 func (b *HitsBuffer) Depth() int { return b.depth }
 
+// AttachObs wires an observer and a cycle clock into the buffer so
+// pushes, switches, and commits emit metrics and trace events with
+// simulation timestamps. A nil observer detaches.
+func (b *HitsBuffer) AttachObs(o *obs.Observer, clock func() int64) {
+	b.obs = o
+	b.clock = clock
+}
+
+func (b *HitsBuffer) now() int64 {
+	if b.clock == nil {
+		return 0
+	}
+	return b.clock()
+}
+
 // Push stores a hit into the SB. It returns false when the SB is full,
 // in which case the producing SU must stall (the paper's "blocking"
 // state).
 func (b *HitsBuffer) Push(h core.Hit) bool {
 	if len(b.sb) >= b.depth {
+		if b.obs != nil {
+			b.obs.BufferPushBlocked(b.now())
+		}
 		return false
 	}
 	b.sb = append(b.sb, h)
+	if b.obs != nil {
+		b.obs.Inv.RecordPush(1)
+		b.obs.BufferPush(b.now(), len(b.sb), b.depth)
+	}
 	return true
 }
 
@@ -60,20 +86,29 @@ func (b *HitsBuffer) PBRemaining() int { return len(b.pb) - b.offset }
 // Switches returns how many buffer switches have occurred.
 func (b *HitsBuffer) Switches() int { return b.switches }
 
+// thresholdMet is the single switch-threshold predicate shared by
+// CanSwitch and TrySwitch: the SB fill has reached threshold*depth.
+// Keeping it in one place means the two callers cannot drift.
+func (b *HitsBuffer) thresholdMet() bool {
+	return float64(len(b.sb)) >= b.threshold*float64(b.depth)
+}
+
 // CanSwitch reports whether the switch condition holds: the SB has
 // reached the threshold and the PB is drained.
 func (b *HitsBuffer) CanSwitch() bool {
-	return b.PBRemaining() == 0 && float64(len(b.sb)) >= b.threshold*float64(b.depth)
+	return b.PBRemaining() == 0 && b.thresholdMet()
 }
 
 // TrySwitch swaps the buffers when CanSwitch; force additionally
 // allows a switch with any nonempty SB (used to drain the pipeline at
-// end of input). It reports whether a switch happened.
+// end of input, so a final sub-threshold SB is never stranded). It
+// reports whether a switch happened.
 func (b *HitsBuffer) TrySwitch(force bool) bool {
 	if b.PBRemaining() != 0 || len(b.sb) == 0 {
 		return false
 	}
-	if !force && float64(len(b.sb)) < b.threshold*float64(b.depth) {
+	forced := !b.thresholdMet()
+	if !force && forced {
 		return false
 	}
 	b.pb = b.pb[:0]
@@ -81,11 +116,29 @@ func (b *HitsBuffer) TrySwitch(force bool) bool {
 	b.sb = b.sb[:0]
 	b.offset = 0
 	b.switches++
+	if b.obs != nil {
+		b.obs.BufferSwitch(b.now(), b.switches, len(b.pb), forced)
+	}
 	return true
 }
 
+// Offset returns the PB consumption offset (hits already allocated
+// out of the current PB).
+func (b *HitsBuffer) Offset() int { return b.offset }
+
+// PBLen returns the total Processing Buffer length including already
+// consumed hits.
+func (b *HitsBuffer) PBLen() int { return len(b.pb) }
+
 // Window returns the current allocation window: up to batch
 // unallocated hits starting at the PB offset (step 1 of Fig. 10).
+//
+// Contract: the returned slice aliases the Processing Buffer. Callers
+// must treat it as read-only — mutating an entry would corrupt the
+// compaction Commit performs over the same backing array.
+// Allocator.Allocate copies the window before sorting for exactly
+// this reason, and the obs.Invariants checker verifies after every
+// round that the window bytes are unchanged.
 func (b *HitsBuffer) Window(batch int) []core.Hit {
 	end := b.offset + batch
 	if end > len(b.pb) {
@@ -106,4 +159,31 @@ func (b *HitsBuffer) Commit(allocated, unallocated []core.Hit) {
 	copy(b.pb[b.offset:], allocated)
 	copy(b.pb[b.offset+len(allocated):], unallocated)
 	b.offset += len(allocated)
+	if b.obs != nil {
+		b.obs.Inv.RecordAssigned(len(allocated))
+		b.obs.BufferOccupancy(b.now(), len(b.sb), b.PBRemaining())
+		b.obs.Inv.CheckBuffer(b.now(), len(b.sb), len(b.pb), b.offset, b.depth)
+	}
+}
+
+// Drop discards up to n unallocated hits from the front of the PB
+// window with a reason, advancing the offset past them. It is the
+// drain path's last resort for provably unallocatable hits (e.g. the
+// Exclusive strategy with an empty unit class): dropping with a
+// recorded reason keeps the hit-conservation invariant auditable
+// instead of stranding hits silently. It returns how many hits were
+// dropped.
+func (b *HitsBuffer) Drop(n int, reason string) int {
+	if n > b.PBRemaining() {
+		n = b.PBRemaining()
+	}
+	if n <= 0 {
+		return 0
+	}
+	b.offset += n
+	if b.obs != nil {
+		b.obs.HitsDropped(b.now(), n, reason)
+		b.obs.BufferOccupancy(b.now(), len(b.sb), b.PBRemaining())
+	}
+	return n
 }

@@ -9,6 +9,7 @@ package eu
 
 import (
 	"nvwa/internal/core"
+	"nvwa/internal/obs"
 	"nvwa/internal/pipeline"
 	"nvwa/internal/seq"
 	"nvwa/internal/sim"
@@ -48,6 +49,7 @@ type Unit struct {
 	aligner Extender
 	cost    CostModel
 	state   core.UnitState
+	obs     *obs.Observer
 
 	// Tracker records busy intervals for utilization figures.
 	Tracker sim.BusyTracker
@@ -78,6 +80,10 @@ func (u *Unit) Class() int { return u.class }
 
 // PEs implements the Table III pe_number signal.
 func (u *Unit) PEs() int { return u.arr.PEs }
+
+// AttachObs wires an observer into the unit so each extension task
+// emits a trace span and metric updates. A nil observer detaches.
+func (u *Unit) AttachObs(o *obs.Observer) { u.obs = o }
 
 // State implements the Table III control interface.
 func (u *Unit) State() core.UnitState { return u.state }
@@ -141,5 +147,8 @@ func (u *Unit) Execute(now int64, oriented seq.Seq, h core.Hit) (core.Extension,
 	// span, a full-coverage alignment the whole read.
 	cycles := u.cost.LoadCycles + fill + int64(systolic.TracebackLatency(ext.RefEnd-ext.RefBeg, h.SeedLen()))
 	u.tasks++
+	if u.obs != nil {
+		u.obs.EUExtend(u.id, u.class, u.arr.PEs, h.SchedLen(), now, now+cycles)
+	}
 	return ext, now + cycles
 }

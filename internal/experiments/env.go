@@ -7,12 +7,15 @@
 package experiments
 
 import (
+	"fmt"
 	"sync"
+	"testing"
 
 	"nvwa/internal/accel"
 	"nvwa/internal/core"
 	"nvwa/internal/extsched"
 	"nvwa/internal/genome"
+	"nvwa/internal/obs"
 	"nvwa/internal/pipeline"
 	"nvwa/internal/seq"
 )
@@ -88,11 +91,37 @@ func (e *Env) RunNvWa() *accel.Report { return e.run(e.NvWaOptions()) }
 func (e *Env) RunBaseline() *accel.Report { return e.run(e.BaselineOptions()) }
 
 func (e *Env) run(o accel.Options) *accel.Report {
+	// Under `go test`, every experiment simulation carries the scheduler
+	// invariant checker (hit conservation, round soundness, buffer
+	// bounds, monotone time), so a regression in any figure's code path
+	// fails loudly instead of skewing numbers. Observation never changes
+	// Reports, so the figures are identical either way.
+	var inv *obs.Invariants
+	if o.Obs == nil && testing.Testing() {
+		ob := obs.NewInvariantsOnly()
+		o.Obs = ob
+		inv = ob.Inv
+	}
 	sys, err := accel.New(e.Aligner, o)
 	if err != nil {
 		panic(err) // options are constructed internally; invalid means a bug
 	}
-	return sys.Run(e.Reads)
+	rep := sys.Run(e.Reads)
+	if inv != nil {
+		if err := inv.Err(); err != nil {
+			panic(fmt.Sprintf("experiments: scheduler invariant violated (%s): %v", sys.Describe(), err))
+		}
+	}
+	return rep
+}
+
+// RunNvWaObserved simulates the full NvWa system with an explicit
+// observer attached (metrics, trace, invariants), for the CLI's
+// -trace/-metrics flags. The Report is byte-identical to RunNvWa's.
+func (e *Env) RunNvWaObserved(ob *obs.Observer) *accel.Report {
+	o := e.NvWaOptions()
+	o.Obs = ob
+	return e.run(o)
 }
 
 // Memo returns the workload's shared functional-replay cache, building

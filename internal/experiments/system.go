@@ -7,6 +7,7 @@ import (
 	"nvwa/internal/accel"
 	"nvwa/internal/baselines"
 	"nvwa/internal/coordinator"
+	"nvwa/internal/obs"
 )
 
 // Fig11Row is one system of the throughput comparison.
@@ -148,6 +149,14 @@ type Fig12Result struct {
 // assignment accuracy.
 func Fig12(env *Env) Fig12Result {
 	return Fig12Result{NvWa: env.RunNvWa(), Baseline: env.RunBaseline()}
+}
+
+// Fig12Observed is Fig12 with an observer attached to the NvWa run, so
+// the CLI can export the timeline and metrics snapshot behind the
+// figure (-trace/-metrics). Observation does not perturb the
+// simulation: the result is identical to Fig12's.
+func Fig12Observed(env *Env, ob *obs.Observer) Fig12Result {
+	return Fig12Result{NvWa: env.RunNvWaObserved(ob), Baseline: env.RunBaseline()}
 }
 
 // Format renders utilization summaries, series excerpts, and the

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"nvwa/internal/core"
+	"nvwa/internal/obs"
 	"nvwa/internal/systolic"
 )
 
@@ -184,7 +185,12 @@ func LatencyOn(hitLen, p int) int { return systolic.Latency(hitLen, hitLen, p) }
 type Trigger struct {
 	total     int
 	threshold float64
+	obs       *obs.Observer
 }
+
+// AttachObs wires an observer into the trigger so every consultation
+// is counted (fired vs suppressed). A nil observer detaches.
+func (t *Trigger) AttachObs(o *obs.Observer) { t.obs = o }
 
 // NewTrigger builds a trigger for a pool of total EUs with the given
 // idle-fraction threshold (paper: 0.15).
@@ -197,5 +203,9 @@ func NewTrigger(total int, threshold float64) *Trigger {
 
 // ShouldSchedule reports whether idle EUs justify a scheduling round.
 func (t *Trigger) ShouldSchedule(idle int) bool {
-	return float64(idle) >= t.threshold*float64(t.total) && idle > 0
+	fired := float64(idle) >= t.threshold*float64(t.total) && idle > 0
+	if t.obs != nil {
+		t.obs.TriggerEval(idle, fired)
+	}
+	return fired
 }

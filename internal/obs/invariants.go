@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"nvwa/internal/core"
+)
+
+// Invariants is the scheduler invariant checker. The accelerator's
+// event loop feeds it accounting records (hits pushed, assigned,
+// dropped) and calls its Check* methods every allocation round and at
+// drain; violations accumulate as human-readable messages that tests
+// assert empty, turning silent scheduling bugs (lost hits, double-
+// booked units, buffer overflow, time travel) into failures.
+//
+// A nil *Invariants is a no-op, so the checks cost one pointer test in
+// production runs. Set Strict to panic on the first violation instead
+// of accumulating — useful when bisecting with a debugger.
+type Invariants struct {
+	// Strict panics on the first violation instead of accumulating.
+	Strict bool
+
+	violations []string
+
+	// hit-conservation ledger
+	pushed, assigned, dropped int64
+
+	lastNow  int64
+	checked  int64 // number of Check* calls, for test sanity
+	maxAccum int   // cap on stored violations (default 64)
+}
+
+// NewInvariants returns an accumulating invariant checker.
+func NewInvariants() *Invariants { return &Invariants{} }
+
+func (v *Invariants) violate(format string, args ...any) {
+	if v == nil {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	if v.Strict {
+		panic("obs: invariant violated: " + msg)
+	}
+	max := v.maxAccum
+	if max == 0 {
+		max = 64
+	}
+	if len(v.violations) < max {
+		v.violations = append(v.violations, msg)
+	}
+}
+
+// RecordPush accounts n hits entering the Coordinator's Store Buffer.
+func (v *Invariants) RecordPush(n int) {
+	if v != nil {
+		v.pushed += int64(n)
+	}
+}
+
+// RecordAssigned accounts n hits committed to extension units.
+func (v *Invariants) RecordAssigned(n int) {
+	if v != nil {
+		v.assigned += int64(n)
+	}
+}
+
+// RecordDropped accounts n hits intentionally dropped with a reason
+// (e.g. provably unallocatable under the Exclusive strategy when their
+// optimal class has no units). Drops without a reason are violations.
+func (v *Invariants) RecordDropped(n int, reason string) {
+	if v == nil {
+		return
+	}
+	if reason == "" {
+		v.violate("dropped %d hits without a reason", n)
+	}
+	v.dropped += int64(n)
+}
+
+// Pushed returns the hits accounted as pushed.
+func (v *Invariants) Pushed() int64 {
+	if v == nil {
+		return 0
+	}
+	return v.pushed
+}
+
+// Assigned returns the hits accounted as assigned.
+func (v *Invariants) Assigned() int64 {
+	if v == nil {
+		return 0
+	}
+	return v.assigned
+}
+
+// Dropped returns the hits accounted as dropped-with-reason.
+func (v *Invariants) Dropped() int64 {
+	if v == nil {
+		return 0
+	}
+	return v.dropped
+}
+
+// CheckTime asserts the engine clock is monotone non-decreasing.
+func (v *Invariants) CheckTime(now int64) {
+	if v == nil {
+		return
+	}
+	v.checked++
+	if now < v.lastNow {
+		v.violate("engine time ran backwards: %d after %d", now, v.lastNow)
+	}
+	v.lastNow = now
+}
+
+// CheckClamp flags a past-cycle scheduling clamp reported by
+// sim.Engine: an event asked to fire delta cycles in the past. Latent
+// negative-latency bugs in cost models surface here.
+func (v *Invariants) CheckClamp(delta int64) {
+	if v == nil {
+		return
+	}
+	v.checked++
+	v.violate("past-cycle schedule clamped to now (delta %d cycles)", delta)
+}
+
+// CheckBuffer asserts the HitsBuffer structural invariants: SB and PB
+// occupancy never exceed the per-side depth, and the PB consumption
+// offset stays within the PB.
+func (v *Invariants) CheckBuffer(now int64, sbLen, pbLen, offset, depth int) {
+	if v == nil {
+		return
+	}
+	v.checked++
+	if sbLen > depth {
+		v.violate("cycle %d: SB occupancy %d exceeds depth %d", now, sbLen, depth)
+	}
+	if pbLen > depth {
+		v.violate("cycle %d: PB occupancy %d exceeds depth %d", now, pbLen, depth)
+	}
+	if offset < 0 || offset > pbLen {
+		v.violate("cycle %d: PB offset %d outside [0,%d]", now, offset, pbLen)
+	}
+}
+
+// CheckRound asserts one allocation round's unit discipline: every
+// assigned unit ID is unique within the round and was offered as idle.
+func (v *Invariants) CheckRound(now int64, idleIDs, assignedIDs []int) {
+	if v == nil {
+		return
+	}
+	v.checked++
+	idle := make(map[int]bool, len(idleIDs))
+	for _, id := range idleIDs {
+		idle[id] = true
+	}
+	seen := make(map[int]bool, len(assignedIDs))
+	for _, id := range assignedIDs {
+		if seen[id] {
+			v.violate("cycle %d: unit %d double-allocated in one round", now, id)
+		}
+		seen[id] = true
+		if !idle[id] {
+			v.violate("cycle %d: unit %d assigned but not offered idle", now, id)
+		}
+	}
+}
+
+// CheckConservation asserts the hit-conservation ledger: every pushed
+// hit is assigned, still pending in the buffers, or dropped with a
+// reason. pending is the caller's current in-buffer hit count
+// (SB occupancy + PB remaining).
+func (v *Invariants) CheckConservation(now int64, pending int64, context string) {
+	if v == nil {
+		return
+	}
+	v.checked++
+	if v.assigned+pending+v.dropped != v.pushed {
+		v.violate("cycle %d (%s): hit conservation broken: pushed %d != assigned %d + pending %d + dropped %d",
+			now, context, v.pushed, v.assigned, pending, v.dropped)
+	}
+}
+
+// CheckDrained asserts the end-of-run state: no hits pending anywhere,
+// so pushed == assigned + dropped. A stranded sub-threshold Store
+// Buffer fails here.
+func (v *Invariants) CheckDrained(now int64, sbLen, pbRemaining, blocked int) {
+	if v == nil {
+		return
+	}
+	v.checked++
+	if sbLen != 0 || pbRemaining != 0 || blocked != 0 {
+		v.violate("cycle %d: drain incomplete: SB=%d PB=%d blocked SUs=%d", now, sbLen, pbRemaining, blocked)
+	}
+	v.CheckConservation(now, int64(sbLen+pbRemaining), "drain")
+}
+
+// SnapshotWindow copies an allocation window so CheckWindowUnchanged
+// can verify the Allocator honoured HitsBuffer.Window's read-only
+// contract (the window aliases the Processing Buffer; mutating it
+// would corrupt the Commit compaction).
+func (v *Invariants) SnapshotWindow(w []core.Hit) []core.Hit {
+	if v == nil {
+		return nil
+	}
+	return append([]core.Hit(nil), w...)
+}
+
+// CheckWindowUnchanged compares the live window against its snapshot.
+func (v *Invariants) CheckWindowUnchanged(now int64, before, after []core.Hit) {
+	if v == nil {
+		return
+	}
+	v.checked++
+	if len(before) != len(after) {
+		v.violate("cycle %d: allocation window length changed %d -> %d", now, len(before), len(after))
+		return
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			v.violate("cycle %d: allocation window entry %d mutated during Allocate: %+v -> %+v",
+				now, i, before[i], after[i])
+			return
+		}
+	}
+}
+
+// Checks returns how many Check* calls ran (tests use it to assert the
+// checker was actually exercised).
+func (v *Invariants) Checks() int64 {
+	if v == nil {
+		return 0
+	}
+	return v.checked
+}
+
+// Violations returns the accumulated violation messages.
+func (v *Invariants) Violations() []string {
+	if v == nil {
+		return nil
+	}
+	return v.violations
+}
+
+// Err returns nil when no invariant was violated, else an error
+// listing every violation.
+func (v *Invariants) Err() error {
+	if v == nil || len(v.violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("obs: %d scheduler invariant violation(s):\n  %s",
+		len(v.violations), strings.Join(v.violations, "\n  "))
+}

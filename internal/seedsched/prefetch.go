@@ -1,6 +1,9 @@
 package seedsched
 
-import "nvwa/internal/mem"
+import (
+	"nvwa/internal/mem"
+	"nvwa/internal/obs"
+)
 
 // ReadSPM is the Seeding Scheduler's read scratchpad (paper Fig. 4):
 // it prefetches upcoming reads from DRAM into on-chip memory in
@@ -13,7 +16,13 @@ type ReadSPM struct {
 	batch     int     // reads fetched per DRAM transaction
 	lookahead int     // batches prefetched beyond the requested one
 	doneAt    []int64 // completion cycle of each issued batch
+	obs       *obs.Observer
 }
+
+// AttachObs wires an observer into the prefetcher so every DRAM
+// prefetch transaction emits a trace span and metric updates. A nil
+// observer detaches.
+func (p *ReadSPM) AttachObs(o *obs.Observer) { p.obs = o }
 
 // NewReadSPM builds a prefetcher. window is the SPM capacity in reads;
 // batch reads are fetched per DRAM transaction.
@@ -40,6 +49,9 @@ func (p *ReadSPM) ReadyAt(now int64, idx int) int64 {
 		next := len(p.doneAt)
 		done := p.hbm.Access(now, int64(next)*int64(p.batch)*int64(p.readBytes), p.batch*p.readBytes)
 		p.doneAt = append(p.doneAt, done)
+		if p.obs != nil {
+			p.obs.Prefetch(next, p.batch, now, done)
+		}
 	}
 	if at := p.doneAt[b]; at > now+1 {
 		return at

@@ -5,7 +5,10 @@
 // busy intervals for the Fig. 12 traces.
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+	"fmt"
+)
 
 // Engine is a deterministic discrete-event simulator. Events scheduled
 // for the same cycle fire in scheduling order.
@@ -13,6 +16,22 @@ type Engine struct {
 	now    int64
 	seq    int64
 	events eventHeap
+	clamps int64
+
+	// Strict makes At panic when asked to schedule strictly in the
+	// past instead of silently clamping to now. Tests run strict so
+	// latent negative-latency bugs in cost models surface with the
+	// offending delta instead of being absorbed.
+	Strict bool
+	// OnClamp, when set, is invoked with the clamped delta (how many
+	// cycles in the past the event was requested) before the event is
+	// rescheduled to now. The observability layer counts clamps here.
+	OnClamp func(delta int64)
+	// OnAdvance, when set, is invoked with the new current cycle each
+	// time an event fires. The observability layer hangs its sampling
+	// and the monotone-time invariant off this hook. It must not
+	// schedule events.
+	OnAdvance func(now int64)
 }
 
 type event struct {
@@ -30,7 +49,7 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
 func (h *eventHeap) Pop() interface{} {
 	old := *h
@@ -44,15 +63,30 @@ func (h *eventHeap) Pop() interface{} {
 func (e *Engine) Now() int64 { return e.now }
 
 // At schedules fn to run at the given cycle. Scheduling in the past
-// (including the current cycle) runs fn at the current cycle, after
-// already-queued same-cycle events.
+// runs fn at the current cycle, after already-queued same-cycle
+// events; such clamps are counted (Clamps) and reported through
+// OnClamp, and panic in Strict mode — a past-cycle schedule is always
+// a cost-model bug, silently absorbed otherwise. Scheduling at the
+// current cycle is normal and not a clamp.
 func (e *Engine) At(cycle int64, fn func()) {
 	if cycle < e.now {
+		delta := e.now - cycle
+		e.clamps++
+		if e.OnClamp != nil {
+			e.OnClamp(delta)
+		}
+		if e.Strict {
+			panic(fmt.Sprintf("sim: strict mode: schedule %d cycles in the past (cycle %d, now %d)",
+				delta, cycle, e.now))
+		}
 		cycle = e.now
 	}
 	heap.Push(&e.events, event{at: cycle, seq: e.seq, fn: fn})
 	e.seq++
 }
+
+// Clamps returns how many past-cycle schedules were clamped to now.
+func (e *Engine) Clamps() int64 { return e.clamps }
 
 // After schedules fn delay cycles from now.
 func (e *Engine) After(delay int64, fn func()) { e.At(e.now+delay, fn) }
@@ -63,6 +97,9 @@ func (e *Engine) Run() int64 {
 	for e.events.Len() > 0 {
 		ev := heap.Pop(&e.events).(event)
 		e.now = ev.at
+		if e.OnAdvance != nil {
+			e.OnAdvance(e.now)
+		}
 		ev.fn()
 	}
 	return e.now
@@ -74,6 +111,9 @@ func (e *Engine) RunUntil(cycle int64) {
 	for e.events.Len() > 0 && e.events[0].at <= cycle {
 		ev := heap.Pop(&e.events).(event)
 		e.now = ev.at
+		if e.OnAdvance != nil {
+			e.OnAdvance(e.now)
+		}
 		ev.fn()
 	}
 	if e.now < cycle {

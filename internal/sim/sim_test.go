@@ -3,6 +3,7 @@ package sim
 import (
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 )
 
@@ -178,5 +179,63 @@ func TestUtilizationDegenerateWindow(t *testing.T) {
 	b.SetIdle(10)
 	if got := b.Utilization(5, 5); got != 0 {
 		t.Errorf("degenerate window utilization = %v", got)
+	}
+}
+
+func TestEngineClampCounterAndHooks(t *testing.T) {
+	var e Engine
+	var clampDeltas []int64
+	var advances []int64
+	e.OnClamp = func(d int64) { clampDeltas = append(clampDeltas, d) }
+	e.OnAdvance = func(now int64) { advances = append(advances, now) }
+	e.At(10, func() {
+		e.At(3, func() {})  // 7 cycles in the past
+		e.At(10, func() {}) // current cycle: NOT a clamp
+	})
+	e.Run()
+	if e.Clamps() != 1 {
+		t.Errorf("Clamps() = %d, want 1", e.Clamps())
+	}
+	if len(clampDeltas) != 1 || clampDeltas[0] != 7 {
+		t.Errorf("OnClamp deltas = %v, want [7]", clampDeltas)
+	}
+	// Three events fired (the root and both children), each advancing.
+	if len(advances) != 3 || advances[0] != 10 || advances[1] != 10 || advances[2] != 10 {
+		t.Errorf("OnAdvance = %v, want [10 10 10]", advances)
+	}
+}
+
+func TestEngineStrictPanicsOnPastSchedule(t *testing.T) {
+	var e Engine
+	e.Strict = true
+	e.At(10, func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Error("strict mode absorbed a past-cycle schedule")
+				return
+			}
+			msg, _ := r.(string)
+			if !strings.Contains(msg, "4 cycles in the past") {
+				t.Errorf("panic message lacks the offending delta: %v", r)
+			}
+		}()
+		e.At(6, func() {})
+	})
+	e.Run()
+	if e.Clamps() != 1 {
+		t.Errorf("strict panic must still count the clamp: Clamps() = %d", e.Clamps())
+	}
+}
+
+func TestEngineRunUntilFiresOnAdvance(t *testing.T) {
+	var e Engine
+	var advances []int64
+	e.OnAdvance = func(now int64) { advances = append(advances, now) }
+	e.At(5, func() {})
+	e.At(50, func() {})
+	e.RunUntil(20)
+	if len(advances) != 1 || advances[0] != 5 {
+		t.Errorf("OnAdvance during RunUntil = %v, want [5]", advances)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"nvwa/internal/core"
 	"nvwa/internal/fmindex"
 	"nvwa/internal/mem"
+	"nvwa/internal/obs"
 	"nvwa/internal/seq"
 	"nvwa/internal/sim"
 )
@@ -62,6 +63,7 @@ type Unit struct {
 	hbm     *mem.HBM
 	cost    CostModel
 	state   core.UnitState
+	obs     *obs.Observer
 
 	// Tracker records busy intervals for utilization figures.
 	Tracker sim.BusyTracker
@@ -71,6 +73,13 @@ type Unit struct {
 	hits     int
 	occTotal int64
 }
+
+// AttachObs wires an observer into the unit so each seeding task
+// emits a trace span and metric updates. A nil observer detaches.
+func (u *Unit) AttachObs(o *obs.Observer) { u.obs = o }
+
+// OccAccesses returns the unit's cumulative occurrence-table traffic.
+func (u *Unit) OccAccesses() int64 { return u.occTotal }
 
 // New builds a seeding unit over a seeding front end and an HBM
 // channel model.
@@ -140,6 +149,9 @@ func (u *Unit) Process(now int64, readIdx int, read seq.Seq) ([]core.Hit, int64)
 				done = at
 			}
 		}
+	}
+	if u.obs != nil {
+		u.obs.SUSeed(u.id, readIdx, len(hits), now, done)
 	}
 	return hits, done
 }

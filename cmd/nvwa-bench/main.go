@@ -53,7 +53,24 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write a JSON metrics snapshot of the fig12 NvWa run to FILE")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the bench to FILE")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to FILE")
+	kernels := flag.Bool("kernels", false, "benchmark the optimized kernels against their retained reference implementations")
+	kernelsOut := flag.String("kernels-out", "BENCH_kernels.json", "output file for -kernels")
+	kernelsCheck := flag.String("kernels-check", "", "re-measure the kernel suite and compare against this committed baseline instead of writing a file (implies -kernels)")
+	kernelsTol := flag.Float64("kernels-tol", 0.20, "with -kernels-check: allowed fractional drop in per-kernel speedup")
 	flag.Parse()
+
+	if *kernels || *kernelsCheck != "" {
+		var err error
+		if *kernelsCheck != "" {
+			err = checkKernelBench(*kernelsCheck, *kernelsTol)
+		} else {
+			err = runKernelBench(*kernelsOut)
+		}
+		if err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

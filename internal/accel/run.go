@@ -49,6 +49,47 @@ func (s *System) Run(reads []seq.Seq) *Report {
 	return s.report(end)
 }
 
+// suTask is the pooled event payload for one SU's read: it fires once
+// at the prefetcher's ready cycle to start seeding, reschedules itself
+// for the completion cycle, and then recycles itself before handing
+// the hits to suDone. Pooling these (and the euDone tasks below)
+// removes the two closure allocations the event loop previously paid
+// per read and per extension.
+type suTask struct {
+	s       *System
+	u       *su.Unit
+	idx     int
+	hits    []core.Hit
+	started bool
+}
+
+// Fire implements sim.Task.
+func (t *suTask) Fire() {
+	s := t.s
+	if !t.started {
+		hits, done := t.u.Process(s.eng.Now(), t.idx, s.reads[t.idx])
+		t.hits = hits
+		t.started = true
+		s.eng.AtTask(done, t)
+		return
+	}
+	u, hits := t.u, t.hits
+	t.u, t.hits, t.started = nil, nil, false
+	s.suFree = append(s.suFree, t)
+	s.suDone(u, hits)
+}
+
+// getSUTask takes a task from the freelist or allocates one.
+func (s *System) getSUTask(u *su.Unit, idx int) *suTask {
+	if n := len(s.suFree); n > 0 {
+		t := s.suFree[n-1]
+		s.suFree = s.suFree[:n-1]
+		t.u, t.idx = u, idx
+		return t
+	}
+	return &suTask{s: s, u: u, idx: idx}
+}
+
 // startOneCycle allocates the next read to an idle SU one cycle after
 // it frees (the One-Cycle Read Allocator's behaviour: every idle unit
 // is refilled in a single cycle).
@@ -62,10 +103,7 @@ func (s *System) startOneCycle(u *su.Unit) {
 	s.nextRead++
 	ready := s.prefet.ReadyAt(now+1, idx)
 	u.SetBusy(now + 1)
-	s.eng.At(ready, func() {
-		hits, done := u.Process(s.eng.Now(), idx, s.reads[idx])
-		s.eng.At(done, func() { s.suDone(u, hits) })
-	})
+	s.eng.AtTask(ready, s.getSUTask(u, idx))
 }
 
 // issueBatch implements Read-in-Batch: all SUs receive reads together,
@@ -90,10 +128,7 @@ func (s *System) issueBatch() {
 		s.nextRead++
 		ready := s.prefet.ReadyAt(now+1, idx)
 		u.SetBusy(now + 1)
-		s.eng.At(ready, func() {
-			hits, done := u.Process(s.eng.Now(), idx, s.reads[idx])
-			s.eng.At(done, func() { s.suDone(u, hits) })
-		})
+		s.eng.AtTask(ready, s.getSUTask(u, idx))
 	}
 }
 
@@ -161,14 +196,18 @@ func (s *System) maybeSwitch() {
 	s.eng.At(now+1, s.tryRound)
 }
 
-// idleEUs lists the currently idle extension units.
+// idleEUs lists the currently idle extension units. The returned slice
+// aliases a per-system scratch buffer, valid until the next idleEUs
+// call; every caller consumes it synchronously (the allocator copies
+// the pool into its own round scratch).
 func (s *System) idleEUs() []coordinator.IdleUnit {
-	var idle []coordinator.IdleUnit
+	idle := s.idleBuf[:0]
 	for _, u := range s.eus {
 		if u.State() == core.Idle {
 			idle = append(idle, coordinator.IdleUnit{ID: u.ID(), Class: u.Class(), PEs: u.PEs()})
 		}
 	}
+	s.idleBuf = idle
 	return idle
 }
 
@@ -217,10 +256,11 @@ func (s *System) tryRound() {
 	if len(assigned) == 0 {
 		return
 	}
-	allocHits := make([]core.Hit, len(assigned))
-	for i, a := range assigned {
-		allocHits[i] = a.Hit
+	allocHits := s.allocHits[:0]
+	for _, a := range assigned {
+		allocHits = append(allocHits, a.Hit)
 	}
+	s.allocHits = allocHits
 	s.buffer.Commit(allocHits, un)
 	if o != nil {
 		o.Inv.CheckConservation(now, int64(s.buffer.SBLen()+s.buffer.PBRemaining()), "round")
@@ -230,13 +270,41 @@ func (s *System) tryRound() {
 	for _, a := range assigned {
 		s.eus[a.Unit.ID].SetBusy(now)
 	}
-	s.eng.At(now+coordinator.RoundLatency(len(window)), func() {
-		s.roundActive = false
-		for _, a := range assigned {
-			s.dispatch(a)
-		}
-		s.tryRoundIfTriggered()
-	})
+	// assigned aliases the allocator's round scratch; that is safe to
+	// carry into the completion event because roundActive blocks any
+	// further Allocate until this task has consumed it.
+	s.eng.AtTask(now+coordinator.RoundLatency(len(window)), s.getRoundTask(assigned))
+}
+
+// roundTask is the pooled event payload for an allocation round's
+// completion: it releases the round, dispatches the assignments, and
+// re-consults the trigger.
+type roundTask struct {
+	s        *System
+	assigned []coordinator.Assignment
+}
+
+// Fire implements sim.Task.
+func (t *roundTask) Fire() {
+	s, assigned := t.s, t.assigned
+	t.assigned = nil
+	s.roundFree = append(s.roundFree, t)
+	s.roundActive = false
+	for _, a := range assigned {
+		s.dispatch(a)
+	}
+	s.tryRoundIfTriggered()
+}
+
+// getRoundTask takes a task from the freelist or allocates one.
+func (s *System) getRoundTask(assigned []coordinator.Assignment) *roundTask {
+	if n := len(s.roundFree); n > 0 {
+		t := s.roundFree[n-1]
+		s.roundFree = s.roundFree[:n-1]
+		t.assigned = assigned
+		return t
+	}
+	return &roundTask{s: s, assigned: assigned}
 }
 
 // observeRound feeds the invariant checker and the per-class idle
@@ -315,7 +383,33 @@ func (s *System) dispatch(a coordinator.Assignment) {
 		oriented = pipeline.Orient(s.reads[a.Hit.ReadIdx], a.Hit.Rev)
 	}
 	ext, done := u.Execute(now, oriented, a.Hit)
-	s.eng.At(done, func() { s.euDone(u, ext) })
+	s.eng.AtTask(done, s.getEUTask(u, ext))
+}
+
+// euTask is the pooled event payload for one extension's completion.
+type euTask struct {
+	s   *System
+	u   *eu.Unit
+	ext core.Extension
+}
+
+// Fire implements sim.Task.
+func (t *euTask) Fire() {
+	s, u, ext := t.s, t.u, t.ext
+	t.u = nil
+	s.euFree = append(s.euFree, t)
+	s.euDone(u, ext)
+}
+
+// getEUTask takes a task from the freelist or allocates one.
+func (s *System) getEUTask(u *eu.Unit, ext core.Extension) *euTask {
+	if n := len(s.euFree); n > 0 {
+		t := s.euFree[n-1]
+		s.euFree = s.euFree[:n-1]
+		t.u, t.ext = u, ext
+		return t
+	}
+	return &euTask{s: s, u: u, ext: ext}
 }
 
 // euDone records the extension result and re-consults the trigger.

@@ -132,6 +132,15 @@ type System struct {
 	hitLens     []int
 	totalHits   int
 	stallCycles int64
+
+	// Event-loop scratch: idle-pool and committed-hits buffers reused
+	// across allocation rounds, and freelists of pooled event tasks so
+	// steady-state scheduling allocates no closures (see run.go).
+	idleBuf   []coordinator.IdleUnit
+	allocHits []core.Hit
+	suFree    []*suTask
+	euFree    []*euTask
+	roundFree []*roundTask
 }
 
 type blockedSU struct {

@@ -110,19 +110,25 @@ const (
 
 // Local computes the optimal affine-gap local alignment of read
 // against ref with full O(|ref|*|read|) dynamic programming and
-// traceback.
+// traceback. It is a thin wrapper over LocalWithScratch with a
+// private workspace; hot paths should reuse a Scratch instead.
 func Local(ref, read []byte, sc Scoring) Result {
-	return localBanded(ref, read, sc, -1)
+	var s Scratch
+	return localBandedWS(&s, ref, read, sc, -1)
 }
 
 // LocalBanded computes a banded local alignment: cells with
 // |i-j| > band are excluded. A band of -1 disables banding. With a
-// sufficiently wide band the result equals Local.
+// sufficiently wide band the result equals Local. It is a thin
+// wrapper over LocalBandedWithScratch with a private workspace.
 func LocalBanded(ref, read []byte, sc Scoring, band int) Result {
-	return localBanded(ref, read, sc, band)
+	var s Scratch
+	return localBandedWS(&s, ref, read, sc, band)
 }
 
-func localBanded(ref, read []byte, sc Scoring, band int) Result {
+// localBandedReference is the original allocating DP kept as the
+// differential-test oracle for localBandedWS.
+func localBandedReference(ref, read []byte, sc Scoring, band int) Result {
 	m, n := len(ref), len(read)
 	if m == 0 || n == 0 {
 		return Result{}
@@ -300,31 +306,11 @@ func ScoreCigar(ref, read []byte, r Result, sc Scoring) (int, error) {
 }
 
 // Global computes the optimal affine-gap global alignment score of the
-// two full sequences.
+// two full sequences. It is a thin wrapper over GlobalWithScratch with
+// a private workspace.
 func Global(ref, read []byte, sc Scoring) int {
-	m, n := len(ref), len(read)
-	h := make([]int, n+1)
-	e := make([]int, n+1)
-	hDiagPrev := 0
-	for j := 1; j <= n; j++ {
-		h[j] = -sc.GapOpen - j*sc.GapExtend
-		e[j] = negInf
-	}
-	fRow := negInf
-	for i := 1; i <= m; i++ {
-		hDiagPrev = h[0]
-		h[0] = -sc.GapOpen - i*sc.GapExtend
-		fRow = negInf
-		for j := 1; j <= n; j++ {
-			eNew := max2(e[j]-sc.GapExtend, h[j]-sc.GapOpen-sc.GapExtend)
-			fRow = max2(fRow-sc.GapExtend, h[j-1]-sc.GapOpen-sc.GapExtend)
-			diag := hDiagPrev + sc.sub(ref[i-1], read[j-1])
-			hDiagPrev = h[j]
-			h[j] = max2(diag, max2(eNew, fRow))
-			e[j] = eNew
-		}
-	}
-	return h[n]
+	var s Scratch
+	return GlobalWithScratch(&s, ref, read, sc)
 }
 
 // Extend computes a BWA-MEM-style seed extension: read is aligned
@@ -341,7 +327,21 @@ func Global(ref, read []byte, sc Scoring) int {
 // A negative zdrop disables it. The returned rows value is the number
 // of reference rows actually processed — the quantity the extension
 // unit's GACT-style early-termination cost model charges for.
+//
+// Extend is a thin wrapper over ExtendWithScratch with a private
+// workspace; hot paths should reuse a Scratch. The banded fast path
+// underneath is byte-identical to ExtendReference (the original
+// full-row kernel, kept as the differential-test oracle).
 func Extend(ref, read []byte, sc Scoring, initScore, zdrop int) (score, refEnd, readEnd, rows int) {
+	var s Scratch
+	return ExtendWithScratch(&s, ref, read, sc, initScore, zdrop)
+}
+
+// ExtendReference is the original full-row extension kernel, retained
+// verbatim as the oracle for ExtendWithScratch's shrinking band and as
+// the "before" baseline in the kernel benchmarks. It allocates its
+// rolling rows on every call.
+func ExtendReference(ref, read []byte, sc Scoring, initScore, zdrop int) (score, refEnd, readEnd, rows int) {
 	m, n := len(ref), len(read)
 	if m == 0 || n == 0 {
 		return initScore, 0, 0, 0

@@ -1,0 +1,475 @@
+// Scratch-backed kernel variants. The package-level entry points
+// (Local, LocalBanded, Extend, Global) allocate their DP state on
+// every call; at the simulator's scale those matrices are rebuilt
+// thousands of times per figure, so the hot paths thread a reusable
+// Scratch through *WithScratch variants instead. The wrappers keep
+// the original signatures and semantics by passing a fresh Scratch.
+//
+// All *WithScratch kernels tolerate dirty scratch memory: every cell
+// a kernel reads is written first (absolute stores, no |= into stale
+// bytes), so a Scratch can be reused across calls and sequence sizes
+// without clearing.
+package align
+
+// Scratch is a reusable, grow-only workspace for the DP kernels. The
+// zero value is ready to use. A Scratch is not safe for concurrent
+// use; share via a sync.Pool or keep one per goroutine.
+//
+// Results that carry a Cigar (LocalWithScratch, LocalBandedWithScratch)
+// alias the Scratch's internal buffer: the Cigar is valid until the
+// next call that uses the same Scratch.
+type Scratch struct {
+	h, e, f []int
+	tb      []byte
+	rev     Cigar
+	cig     Cigar
+}
+
+// growInts returns buf with length n, reusing capacity when possible.
+// Contents are unspecified (dirty).
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// growBytes is growInts for byte slices.
+func growBytes(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		return make([]byte, n)
+	}
+	return buf[:n]
+}
+
+// LocalWithScratch is Local using s for all DP state. The returned
+// Cigar aliases s and is valid until the next call with the same
+// Scratch.
+func LocalWithScratch(s *Scratch, ref, read []byte, sc Scoring) Result {
+	return localBandedWS(s, ref, read, sc, -1)
+}
+
+// LocalBandedWithScratch is LocalBanded using s for all DP state. The
+// returned Cigar aliases s and is valid until the next call with the
+// same Scratch.
+func LocalBandedWithScratch(s *Scratch, ref, read []byte, sc Scoring, band int) Result {
+	return localBandedWS(s, ref, read, sc, band)
+}
+
+// localBandedWS is the scratch-backed full/banded local DP with
+// traceback. It computes the same matrices as the original localBanded
+// (see align.go history / TestLocalScratchMatches) but writes every
+// cell absolutely so dirty scratch memory is safe: traceback bytes are
+// composed in a register and stored once, and the outside-band fill
+// loops clear tb as well as h/e/f so the traceback's run-walks never
+// read stale direction bits.
+func localBandedWS(s *Scratch, ref, read []byte, sc Scoring, band int) Result {
+	m, n := len(ref), len(read)
+	if m == 0 || n == 0 {
+		return Result{}
+	}
+	stride := n + 1
+	size := (m + 1) * stride
+	s.h = growInts(s.h, size)
+	s.e = growInts(s.e, size)
+	s.f = growInts(s.f, size)
+	s.tb = growBytes(s.tb, size)
+	h, e, f, tb := s.h, s.e, s.f, s.tb
+
+	// Row 0: H=0 (local alignment may start anywhere), gap states
+	// unreachable. tb row 0 is never read (traceback stops at i==0).
+	for j := 0; j <= n; j++ {
+		h[j] = 0
+		e[j] = negInf
+		f[j] = negInf
+	}
+
+	goe := sc.GapOpen + sc.GapExtend
+	ge := sc.GapExtend
+	best, bi, bj := 0, 0, 0
+	for i := 1; i <= m; i++ {
+		lo, hi := 1, n
+		if band >= 0 {
+			if i-band > lo {
+				lo = i - band
+			}
+			if i+band < hi {
+				hi = i + band
+			}
+			if lo > n+1 {
+				lo = n + 1 // row entirely outside the band
+			}
+		}
+		row := i * stride
+		prev := row - stride
+		for j := 0; j < lo; j++ {
+			h[row+j] = 0
+			e[row+j] = negInf
+			f[row+j] = negInf
+			tb[row+j] = 0
+		}
+		ri := ref[i-1]
+		for j := lo; j <= hi; j++ {
+			ii := row + j
+			var dir byte
+			// E: gap in read (move down in ref).
+			eo := h[prev+j] - goe
+			ee := e[prev+j] - ge
+			ev := eo
+			if ee > eo {
+				ev = ee
+				dir = 1 << 2
+			}
+			e[ii] = ev
+			// F: gap in ref (move right in read).
+			fo := h[ii-1] - goe
+			fe := f[ii-1] - ge
+			fv := fo
+			if fe > fo {
+				fv = fe
+				dir |= 1 << 3
+			}
+			f[ii] = fv
+			// H: best of stop/diag/E/F.
+			sub := -sc.Mismatch
+			if ri == read[j-1] {
+				sub = sc.Match
+			}
+			diag := h[prev+j-1] + sub
+			hv, hsrc := 0, byte(hStop)
+			if diag > hv {
+				hv, hsrc = diag, hDiag
+			}
+			if ev > hv {
+				hv, hsrc = ev, hDel
+			}
+			if fv > hv {
+				hv, hsrc = fv, hIns
+			}
+			h[ii] = hv
+			tb[ii] = dir | hsrc
+			if hv > best {
+				best, bi, bj = hv, i, j
+			}
+		}
+		for j := hi + 1; j <= n; j++ {
+			h[row+j] = 0
+			e[row+j] = negInf
+			f[row+j] = negInf
+			tb[row+j] = 0
+		}
+	}
+	if best == 0 {
+		return Result{}
+	}
+
+	// Traceback from (bi, bj), run-length encoding into the scratch.
+	rev := s.rev[:0]
+	push := func(op Op) {
+		if len(rev) > 0 && rev[len(rev)-1].Op == op {
+			rev[len(rev)-1].Len++
+		} else {
+			rev = append(rev, CigarOp{op, 1})
+		}
+	}
+	i, j := bi, bj
+	for i > 0 && j > 0 {
+		switch tb[i*stride+j] & 3 {
+		case hStop:
+			goto done
+		case hDiag:
+			push(OpM)
+			i--
+			j--
+		case hDel:
+			// Walk the deletion run.
+			for {
+				push(OpD)
+				cont := tb[i*stride+j]&(1<<2) != 0
+				i--
+				if !cont {
+					break
+				}
+			}
+		case hIns:
+			for {
+				push(OpI)
+				cont := tb[i*stride+j]&(1<<3) != 0
+				j--
+				if !cont {
+					break
+				}
+			}
+		}
+	}
+done:
+	s.rev = rev
+	cig := s.cig[:0]
+	for k := len(rev) - 1; k >= 0; k-- {
+		cig = append(cig, rev[k])
+	}
+	s.cig = cig
+	return Result{
+		Score:   best,
+		RefBeg:  i,
+		RefEnd:  bi,
+		ReadBeg: j,
+		ReadEnd: bj,
+		Cigar:   cig,
+	}
+}
+
+// GlobalWithScratch is Global using s for the two rolling rows.
+func GlobalWithScratch(s *Scratch, ref, read []byte, sc Scoring) int {
+	m, n := len(ref), len(read)
+	s.h = growInts(s.h, n+1)
+	s.e = growInts(s.e, n+1)
+	h, e := s.h, s.e
+	goe := sc.GapOpen + sc.GapExtend
+	ge := sc.GapExtend
+	h[0] = 0
+	for j := 1; j <= n; j++ {
+		h[j] = -sc.GapOpen - j*ge
+		e[j] = negInf
+	}
+	for i := 1; i <= m; i++ {
+		hDiagPrev := h[0]
+		h[0] = -sc.GapOpen - i*ge
+		fRow := negInf
+		hLeft := h[0]
+		ri := ref[i-1]
+		for j := 1; j <= n; j++ {
+			eNew := e[j] - ge
+			if eo := h[j] - goe; eo > eNew {
+				eNew = eo
+			}
+			fRow -= ge
+			if fo := hLeft - goe; fo > fRow {
+				fRow = fo
+			}
+			sub := -sc.Mismatch
+			if ri == read[j-1] {
+				sub = sc.Match
+			}
+			diag := hDiagPrev + sub
+			hDiagPrev = h[j]
+			hv := diag
+			if eNew > hv {
+				hv = eNew
+			}
+			if fRow > hv {
+				hv = fRow
+			}
+			h[j] = hv
+			e[j] = eNew
+			hLeft = hv
+		}
+	}
+	return h[n]
+}
+
+// ExtendWithScratch is Extend using s for the rolling rows, with a
+// z-drop-aware shrinking band: columns whose value plus the maximum
+// remaining gain (a potential of stepGain per residual diagonal step)
+// cannot reach best-zdrop are excluded from subsequent rows. The
+// exclusion bound guarantees an excluded cell can neither update the
+// running best (which requires a strict improvement over best >=
+// best-zdrop) nor flip a row's z-drop decision (both sides of the
+// comparison stay below the threshold), so the returned (score,
+// refEnd, readEnd, rows) tuple is byte-identical to ExtendReference.
+// Band shrinking engages only when zdrop >= 0 and both gap penalties
+// are non-negative (gaps never gain); otherwise the kernel runs the
+// full-row recurrence, still allocation-free.
+func ExtendWithScratch(s *Scratch, ref, read []byte, sc Scoring, initScore, zdrop int) (score, refEnd, readEnd, rows int) {
+	m, n := len(ref), len(read)
+	if m == 0 || n == 0 {
+		return initScore, 0, 0, 0
+	}
+	s.h = growInts(s.h, n+1)
+	s.e = growInts(s.e, n+1)
+	h, e := s.h, s.e
+
+	gapO, ge := sc.GapOpen, sc.GapExtend
+	goe := gapO + ge
+	banded := zdrop >= 0 && gapO >= 0 && ge >= 0
+	stepGain := sc.Match
+	if -sc.Mismatch > stepGain {
+		stepGain = -sc.Mismatch
+	}
+	if stepGain < 0 {
+		stepGain = 0
+	}
+
+	best, bi, bj := initScore, 0, 0
+	h[0] = initScore
+	for j := 1; j <= n; j++ {
+		h[j] = initScore - gapO - j*ge
+		e[j] = negInf
+	}
+
+	// [beg..endValid] is the window of columns holding exact values for
+	// the previous row; columns outside are stored as negInf. shrink
+	// trims the window for the next row (row nextI) against the current
+	// threshold T = best - zdrop: a column is dropped when even one
+	// maximal step into row nextI plus the full remaining diagonal
+	// potential cannot reach T. Stored (possibly already-excluded)
+	// neighbours are valid sources for the bound because an excluded
+	// cell's descendants are themselves below T by induction.
+	beg, endValid := 1, n
+	shrink := func(nextI int) {
+		T := best - zdrop
+		remR := m - nextI // rows remaining after row nextI
+		for endValid >= beg {
+			b := h[endValid]
+			if e[endValid] > b {
+				b = e[endValid]
+			}
+			if h[endValid-1] > b {
+				b = h[endValid-1]
+			}
+			rem := remR
+			if n-endValid < rem {
+				rem = n - endValid
+			}
+			if b+stepGain+rem*stepGain >= T {
+				break
+			}
+			h[endValid] = negInf
+			e[endValid] = negInf
+			endValid--
+		}
+		for beg <= endValid {
+			b := h[beg]
+			if e[beg] > b {
+				b = e[beg]
+			}
+			if h[beg-1] > b {
+				b = h[beg-1]
+			}
+			rem := remR
+			if n-beg < rem {
+				rem = n - beg
+			}
+			if b+stepGain+rem*stepGain >= T {
+				break
+			}
+			h[beg] = negInf
+			e[beg] = negInf
+			beg++
+		}
+	}
+	if banded {
+		shrink(1)
+		if beg > endValid {
+			// Row 1 has no cell that can reach best-zdrop: the
+			// reference computes it, observes rowBest < best-zdrop,
+			// and stops with rows=1.
+			return best, bi, bj, 1
+		}
+	}
+
+	for i := 1; i <= m; i++ {
+		hBound := initScore - gapO - i*ge
+		var hDiagPrev, hLeft int
+		if beg == 1 {
+			hDiagPrev = h[0] // previous row's boundary value
+			h[0] = hBound
+			hLeft = hBound
+		} else {
+			hDiagPrev = h[beg-1] // negInf: excluded column
+			hLeft = negInf
+		}
+		endRow := endValid
+		if endRow < n {
+			// The window may extend one column right via the diagonal;
+			// that column was outside the previous row's window.
+			endRow++
+			h[endRow] = negInf
+			e[endRow] = negInf
+		}
+		f := negInf
+		rowBest := negInf
+		ri := ref[i-1]
+		_ = h[endRow] // bounds-check elimination for the inner loop
+		_ = e[endRow]
+		_ = read[endRow-1]
+		for j := beg; j <= endRow; j++ {
+			eNew := e[j] - ge
+			if eo := h[j] - goe; eo > eNew {
+				eNew = eo
+			}
+			f -= ge
+			if fo := hLeft - goe; fo > f {
+				f = fo
+			}
+			sub := -sc.Mismatch
+			if ri == read[j-1] {
+				sub = sc.Match
+			}
+			diag := hDiagPrev + sub
+			hDiagPrev = h[j]
+			hv := diag
+			if eNew > hv {
+				hv = eNew
+			}
+			if f > hv {
+				hv = f
+			}
+			h[j] = hv
+			e[j] = eNew
+			hLeft = hv
+			if hv > best {
+				best, bi, bj = hv, i, j
+			}
+			if hv > rowBest {
+				rowBest = hv
+			}
+		}
+		endRowValid := endRow
+		if banded && endRow < n {
+			// F spill: the insertion state can carry value rightwards
+			// past the window; follow it while it can still reach T.
+			T := best - zdrop
+			remR := m - i
+			for j := endRow + 1; j <= n; j++ {
+				f -= ge
+				if fo := hLeft - goe; fo > f {
+					f = fo
+				}
+				rem := remR
+				if n-j < rem {
+					rem = n - j
+				}
+				if f+rem*stepGain < T {
+					break
+				}
+				h[j] = f
+				e[j] = negInf
+				hLeft = f
+				if f > best {
+					best, bi, bj = f, i, j
+				}
+				if f > rowBest {
+					rowBest = f
+				}
+				endRowValid = j
+			}
+		}
+		rows = i
+		if zdrop >= 0 && rowBest < best-zdrop {
+			break
+		}
+		endValid = endRowValid
+		if banded && i < m {
+			shrink(i + 1)
+			if beg > endValid {
+				// Next row has no viable cell: the reference computes
+				// it (all its true values are below best-zdrop),
+				// triggers the z-drop, and stops with rows=i+1.
+				rows = i + 1
+				break
+			}
+		}
+	}
+	return best, bi, bj, rows
+}

@@ -74,7 +74,39 @@ type Allocator struct {
 	optimal, nearOptimal int
 	perClassOpt          []int
 	perClassTotal        []int
+
+	// Round scratch, reused across Allocate calls so a steady-state
+	// round performs no heap allocation. The slices Allocate returns
+	// alias assignedBuf/unallocBuf and are valid only until the next
+	// Allocate call; callers that retain them across rounds must copy
+	// (the accelerator consumes them within the round, guarded by its
+	// roundActive flag).
+	hitsBuf     hitsBySchedLen
+	idleBuf     unitsByID
+	byClass     [][]IdleUnit
+	heads       []int
+	assignedBuf []Assignment
+	unallocBuf  []core.Hit
 }
+
+// hitsBySchedLen sorts hits ascending by scheduling length, stably, so
+// equal-length hits keep their window order (step 3 of Fig. 10). A
+// named type with value-receiver methods lets Allocate call sort.Stable
+// through a pointer to the scratch field without the closure allocation
+// sort.SliceStable incurs per round.
+type hitsBySchedLen []core.Hit
+
+func (h hitsBySchedLen) Len() int           { return len(h) }
+func (h hitsBySchedLen) Less(i, j int) bool { return h[i].SchedLen() < h[j].SchedLen() }
+func (h hitsBySchedLen) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+
+// unitsByID sorts idle units ascending by ID. Unit IDs are unique, so
+// the (unstable) sort is deterministic.
+type unitsByID []IdleUnit
+
+func (u unitsByID) Len() int           { return len(u) }
+func (u unitsByID) Less(i, j int) bool { return u[i].ID < u[j].ID }
+func (u unitsByID) Swap(i, j int)      { u[i], u[j] = u[j], u[i] }
 
 // NewAllocator builds an allocator over the EU pool's classes.
 func NewAllocator(classes []core.EUClass, strategy Strategy) *Allocator {
@@ -90,6 +122,8 @@ func NewAllocator(classes []core.EUClass, strategy Strategy) *Allocator {
 		statsSizes:    sizes,
 		perClassOpt:   make([]int, len(classes)),
 		perClassTotal: make([]int, len(classes)),
+		byClass:       make([][]IdleUnit, len(classes)),
+		heads:         make([]int, len(classes)),
 	}
 }
 
@@ -136,36 +170,39 @@ func (a *Allocator) group(class int) int {
 // hit's extension length, sort by it, split into groups, and greedily
 // match against the idle units. It returns the assignments and the
 // hits left unallocated (in their post-sort order, ready for Commit).
+//
+// The returned slices alias the allocator's round scratch and are
+// valid only until the next Allocate call; a warm allocator performs
+// no heap allocation per round.
 func (a *Allocator) Allocate(window []core.Hit, idle []IdleUnit) (assigned []Assignment, unallocated []core.Hit) {
 	if len(window) == 0 {
 		return nil, nil
 	}
-	// Step 2-3: compute hit_len and sort ascending by it.
-	hits := append([]core.Hit(nil), window...)
+	// Step 2-3: copy the window (it aliases the Processing Buffer and
+	// must stay untouched) into scratch and sort ascending by hit_len.
+	a.hitsBuf = append(a.hitsBuf[:0], window...)
+	hits := a.hitsBuf
 	if a.strategy != FIFO {
-		sort.SliceStable(hits, func(i, j int) bool { return hits[i].SchedLen() < hits[j].SchedLen() })
+		sort.Stable(&a.hitsBuf)
 	}
 
-	// Index idle units by class, smallest unit IDs first for
-	// determinism.
-	byClass := make([][]IdleUnit, len(a.classes))
-	for _, u := range idle {
-		if u.Class >= 0 && u.Class < len(byClass) {
-			byClass[u.Class] = append(byClass[u.Class], u)
-		}
+	// Index idle units by class. Sorting the offered pool by unique ID
+	// once keeps every class bucket ID-ordered (determinism) without
+	// the per-class sorts of the original.
+	a.idleBuf = append(a.idleBuf[:0], idle...)
+	sort.Sort(&a.idleBuf)
+	for c := range a.byClass {
+		a.byClass[c] = a.byClass[c][:0]
+		a.heads[c] = 0
 	}
-	for c := range byClass {
-		sort.Slice(byClass[c], func(i, j int) bool { return byClass[c][i].ID < byClass[c][j].ID })
-	}
-	take := func(c int) (IdleUnit, bool) {
-		if len(byClass[c]) == 0 {
-			return IdleUnit{}, false
+	for _, u := range a.idleBuf {
+		if u.Class >= 0 && u.Class < len(a.byClass) {
+			a.byClass[u.Class] = append(a.byClass[u.Class], u)
 		}
-		u := byClass[c][0]
-		byClass[c] = byClass[c][1:]
-		return u, true
 	}
 
+	asg := a.assignedBuf[:0]
+	un := a.unallocBuf[:0]
 	for _, h := range hits {
 		opt := a.classifier.OptimalClass(h.SchedLen())
 		var unit IdleUnit
@@ -174,24 +211,26 @@ func (a *Allocator) Allocate(window []core.Hit, idle []IdleUnit) (assigned []Ass
 		case FIFO:
 			// Any idle unit, ID order.
 			bestClass, bestID := -1, 0
-			for c := range byClass {
-				if len(byClass[c]) > 0 && (bestClass == -1 || byClass[c][0].ID < bestID) {
-					bestClass, bestID = c, byClass[c][0].ID
+			for c := range a.byClass {
+				if a.heads[c] < len(a.byClass[c]) {
+					if id := a.byClass[c][a.heads[c]].ID; bestClass == -1 || id < bestID {
+						bestClass, bestID = c, id
+					}
 				}
 			}
 			if bestClass >= 0 {
-				unit, ok = take(bestClass)
+				unit, ok = a.take(bestClass)
 			}
 		case Exclusive:
-			unit, ok = take(opt)
+			unit, ok = a.take(opt)
 		case Shared:
-			unit, ok = a.takeNearest(byClass, take, opt, 0, len(a.classes))
+			unit, ok = a.takeNearest(opt, 0, len(a.classes))
 		case Grouped:
 			lo, hi := 0, a.splitClass
 			if a.group(opt) == 1 {
 				lo, hi = a.splitClass, len(a.classes)
 			}
-			unit, ok = a.takeNearest(byClass, take, opt, lo, hi)
+			unit, ok = a.takeNearest(opt, lo, hi)
 			if !ok {
 				// The home group is exhausted: supplement from the
 				// adjacent group (paper Sec. IV-D — "adjacent resources
@@ -200,14 +239,14 @@ func (a *Allocator) Allocate(window []core.Hit, idle []IdleUnit) (assigned []Ass
 				// in step 3 already gave same-group hits first pick, so
 				// this disciplined spill differs from the "too
 				// aggressive" fully-shared method (2).
-				unit, ok = a.takeNearest(byClass, take, opt, 0, len(a.classes))
+				unit, ok = a.takeNearest(opt, 0, len(a.classes))
 			}
 		}
 		if !ok {
-			unallocated = append(unallocated, h)
+			un = append(un, h)
 			continue
 		}
-		assigned = append(assigned, Assignment{Hit: h, Unit: unit})
+		asg = append(asg, Assignment{Hit: h, Unit: unit})
 		sc := a.statsClass(h.SchedLen())
 		a.perClassTotal[sc]++
 		if unit.PEs == a.statsSizes[sc] {
@@ -217,27 +256,40 @@ func (a *Allocator) Allocate(window []core.Hit, idle []IdleUnit) (assigned []Ass
 			a.nearOptimal++
 		}
 	}
-	return assigned, unallocated
+	a.assignedBuf, a.unallocBuf = asg, un
+	return asg, un
+}
+
+// take pops the lowest-ID idle unit of class c, if any. Buckets are
+// consumed through per-class heads so their backing arrays survive the
+// round for reuse.
+func (a *Allocator) take(c int) (IdleUnit, bool) {
+	if a.heads[c] >= len(a.byClass[c]) {
+		return IdleUnit{}, false
+	}
+	u := a.byClass[c][a.heads[c]]
+	a.heads[c]++
+	return u, true
 }
 
 // takeNearest takes an idle unit for optimal class opt searching
 // classes [lo, hi), preferring opt, then increasing distance with the
 // larger class first (a short hit on a bigger unit costs less extra
 // latency than a long hit on a smaller unit, Fig. 8 observation 3).
-func (a *Allocator) takeNearest(byClass [][]IdleUnit, take func(int) (IdleUnit, bool), opt, lo, hi int) (IdleUnit, bool) {
+func (a *Allocator) takeNearest(opt, lo, hi int) (IdleUnit, bool) {
 	if opt >= lo && opt < hi {
-		if u, ok := take(opt); ok {
+		if u, ok := a.take(opt); ok {
 			return u, true
 		}
 	}
 	for d := 1; d < hi-lo; d++ {
 		if c := opt + d; c >= lo && c < hi {
-			if u, ok := take(c); ok {
+			if u, ok := a.take(c); ok {
 				return u, true
 			}
 		}
 		if c := opt - d; c >= lo && c < hi {
-			if u, ok := take(c); ok {
+			if u, ok := a.take(c); ok {
 				return u, true
 			}
 		}

@@ -1,0 +1,68 @@
+package coordinator
+
+import (
+	"math/rand"
+	"testing"
+
+	"nvwa/internal/core"
+)
+
+// TestAllocateWarmZeroAlloc asserts the round-scratch contract: a warm
+// allocator performs no heap allocation per round. The original built
+// the window copy, the per-class buckets, two sort closures, and both
+// result slices fresh every round.
+func TestAllocateWarmZeroAlloc(t *testing.T) {
+	for _, strat := range []Strategy{Grouped, Exclusive, Shared, FIFO} {
+		a := NewAllocator(testClasses, strat)
+		rng := rand.New(rand.NewSource(41))
+		window := make([]core.Hit, 24)
+		for i := range window {
+			window[i] = hit(i, 1+rng.Intn(200))
+		}
+		idle := units(testClasses)
+		a.Allocate(window, idle) // warm
+		allocs := testing.AllocsPerRun(100, func() {
+			a.Allocate(window, idle)
+		})
+		if allocs != 0 {
+			t.Errorf("%v: warm Allocate performs %v allocs per round, want 0", strat, allocs)
+		}
+	}
+}
+
+// TestAllocateScratchReuseMatchesFresh replays identical rounds on a
+// warm and a fresh allocator and demands identical outputs, so scratch
+// reuse cannot leak state between rounds.
+func TestAllocateScratchReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, strat := range []Strategy{Grouped, Exclusive, Shared, FIFO} {
+		warm := NewAllocator(testClasses, strat)
+		for round := 0; round < 200; round++ {
+			window := make([]core.Hit, rng.Intn(30))
+			for i := range window {
+				window[i] = hit(round*100+i, 1+rng.Intn(200))
+			}
+			all := units(testClasses)
+			rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+			idle := all[:rng.Intn(len(all)+1)]
+
+			fresh := NewAllocator(testClasses, strat)
+			wa, wu := warm.Allocate(window, idle)
+			fa, fu := fresh.Allocate(window, idle)
+			if len(wa) != len(fa) || len(wu) != len(fu) {
+				t.Fatalf("%v round %d: warm (%d,%d) vs fresh (%d,%d)",
+					strat, round, len(wa), len(wu), len(fa), len(fu))
+			}
+			for i := range wa {
+				if wa[i] != fa[i] {
+					t.Fatalf("%v round %d assignment %d: warm %+v fresh %+v", strat, round, i, wa[i], fa[i])
+				}
+			}
+			for i := range wu {
+				if wu[i] != fu[i] {
+					t.Fatalf("%v round %d unallocated %d: warm %+v fresh %+v", strat, round, i, wu[i], fu[i])
+				}
+			}
+		}
+	}
+}

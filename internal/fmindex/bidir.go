@@ -21,6 +21,13 @@ func NewBi(t []byte) *BiIndex {
 // Fwd exposes the forward index (used for locating occurrences).
 func (b *BiIndex) Fwd() *Index { return b.fwd }
 
+// SetReferenceRank routes both halves' rank queries through the
+// original block-scanning implementation (benchmark/oracle use only).
+func (b *BiIndex) SetReferenceRank(v bool) {
+	b.fwd.SetReferenceRank(v)
+	b.rev.SetReferenceRank(v)
+}
+
 // TextLen returns the length of the indexed text.
 func (b *BiIndex) TextLen() int { return b.fwd.textLen }
 
@@ -54,11 +61,7 @@ func (x *Index) Occ4(i int, st *Stats) [4]int {
 	if st != nil {
 		st.OccAccesses++
 	}
-	var out [4]int
-	for a := 0; a < 4; a++ {
-		out[a] = x.occRaw(byte(a), i)
-	}
-	return out
+	return x.occ4Raw(i)
 }
 
 // ExtendLeft turns the interval of P into the interval of aP.

@@ -5,8 +5,13 @@ import (
 	"math/bits"
 )
 
-// OccInterval is the checkpoint spacing of the occurrence table. The
-// paper sets the FM-index interval of its SUs to 128 (Sec. V-A).
+// OccInterval is the checkpoint spacing of the *modeled* hardware
+// occurrence table: the paper sets the FM-index interval of its SUs to
+// 128 (Sec. V-A), and Stats charges one 128-base block read per Occ
+// evaluation accordingly. The software implementation underneath keeps
+// a denser per-word checkpoint (one [4]int32 every 32 bases) so rank
+// queries are O(1) instead of scanning up to four words; the modeled
+// traffic is charged per call, so the cost model is unaffected.
 const OccInterval = 128
 
 // saSampleRate is the suffix-array sampling used by Locate. One LF
@@ -39,8 +44,14 @@ type Index struct {
 	textLen int
 	primary int      // BWT position of the sentinel
 	bwt     []uint64 // packed BWT, 32 bases per word (sentinel stored as 0)
-	occ     [][4]int32
-	c       [5]int // C[a] = count of bases < a in text (sentinel included at rank 0)
+	// occW[w][a] = occurrences of a in bwt[0 : w*32), primary excluded:
+	// a checkpoint per BWT word, so any rank query popcounts at most one
+	// partial word.
+	occW [][4]int32
+	// scanRank routes rank queries through the original 128-base
+	// block-scanning implementation (benchmark/oracle use only).
+	scanRank bool
+	c        [5]int // C[a] = count of bases < a in text (sentinel included at rank 0)
 	saMask []uint64 // bitset: SA value sampled at this BWT row?
 	saRank []int32  // cumulative popcount of saMask words, for O(1) rank
 	saVals []int32  // sampled SA values, indexed by rank among sampled rows
@@ -61,18 +72,23 @@ func New(t []byte) *Index {
 		idx.bwt[i/basesPerWord] |= uint64(b&3) << uint((i%basesPerWord)*2)
 	}
 
-	// Occurrence checkpoints every OccInterval bases.
-	nCheck := n/OccInterval + 1
-	idx.occ = make([][4]int32, nCheck)
+	// Per-word occurrence checkpoints.
+	nw := len(idx.bwt)
+	idx.occW = make([][4]int32, nw+1)
 	var running [4]int32
-	for i := 0; i <= n; i++ {
-		if i%OccInterval == 0 {
-			idx.occ[i/OccInterval] = running
+	for w := 0; w < nw; w++ {
+		idx.occW[w] = running
+		hi := (w + 1) * basesPerWord
+		if hi > n {
+			hi = n
 		}
-		if i < n && i != primary {
-			running[bwtBytes[i]]++
+		for i := w * basesPerWord; i < hi; i++ {
+			if i != primary {
+				running[bwtBytes[i]]++
+			}
 		}
 	}
+	idx.occW[nw] = running
 
 	// C table: counts of symbols smaller than a. Sentinel counts as the
 	// single smallest symbol.
@@ -115,24 +131,36 @@ func (x *Index) Occ(a byte, i int, st *Stats) int {
 	return x.occRaw(a, i)
 }
 
-func (x *Index) occRaw(a byte, i int) int {
+const loPairs = uint64(0x5555555555555555)
+
+// SetReferenceRank routes this index's rank queries through the
+// original OccInterval-spaced block-scanning implementation instead of
+// the per-word checkpoints. It exists so the kernel benchmarks'
+// "before" side and the equivalence tests can reproduce the original
+// cost profile; simulation code never calls it. Results are identical
+// either way.
+func (x *Index) SetReferenceRank(v bool) { x.scanRank = v }
+
+// occRawScan is the original occRaw: start from the enclosing 128-base
+// checkpoint (every fourth per-word checkpoint coincides with it) and
+// scan up to four BWT words.
+func (x *Index) occRawScan(a byte, i int) int {
 	if i <= 0 {
 		return 0
 	}
 	if i > x.size() {
 		i = x.size()
 	}
+	// occW[4*cp] counts bwt[0 : cp*128), exactly the original 128-base
+	// table entry (i <= size() keeps the index in range).
 	cp := i / OccInterval
-	if cp >= len(x.occ) {
-		cp = len(x.occ) - 1
-	}
-	count := int(x.occ[cp][a])
+	count := int(x.occW[cp*(OccInterval/basesPerWord)][a])
 	start := cp * OccInterval
 	// Popcount the 2-bit symbols equal to a in bwt[start:i).
-	pat := uint64(a&3) * 0x5555555555555555
+	pat := uint64(a&3) * loPairs
 	for w := start / basesPerWord; w*basesPerWord < i; w++ {
-		word := x.bwt[w] ^ ^pat // bases equal to a become 0b11 pairs... (inverted xor)
-		word = word & (word >> 1) & 0x5555555555555555
+		word := x.bwt[w] ^ ^pat // bases equal to a become 0b11 pairs
+		word = word & (word >> 1) & loPairs
 		lo := w * basesPerWord
 		// Mask off bases outside [start, i).
 		if lo < start {
@@ -151,6 +179,69 @@ func (x *Index) occRaw(a byte, i int) int {
 		count--
 	}
 	return count
+}
+
+func (x *Index) occRaw(a byte, i int) int {
+	if x.scanRank {
+		return x.occRawScan(a, i)
+	}
+	if i <= 0 {
+		return 0
+	}
+	if i > x.size() {
+		i = x.size()
+	}
+	w := i / basesPerWord
+	count := int(x.occW[w][a])
+	r := i - w*basesPerWord
+	if r == 0 {
+		return count
+	}
+	// Popcount the 2-bit symbols equal to a in the partial word.
+	word := x.bwt[w] ^ ^(uint64(a&3) * loPairs) // bases equal to a become 0b11 pairs
+	word = word & (word >> 1) & loPairs & ((1 << uint(r*2)) - 1)
+	count += bits.OnesCount64(word)
+	// The sentinel is stored as symbol 0; exclude it from counts of A.
+	if a == 0 && x.primary >= w*basesPerWord && x.primary < i {
+		count--
+	}
+	return count
+}
+
+// occ4Raw returns occurrence counts of all four bases in bwt[0:i) with
+// one checkpoint load and three popcounts over the partial word.
+func (x *Index) occ4Raw(i int) [4]int {
+	if x.scanRank {
+		return [4]int{x.occRawScan(0, i), x.occRawScan(1, i), x.occRawScan(2, i), x.occRawScan(3, i)}
+	}
+	if i <= 0 {
+		return [4]int{}
+	}
+	if i > x.size() {
+		i = x.size()
+	}
+	w := i / basesPerWord
+	cp := &x.occW[w]
+	out := [4]int{int(cp[0]), int(cp[1]), int(cp[2]), int(cp[3])}
+	r := i - w*basesPerWord
+	if r == 0 {
+		return out
+	}
+	word := x.bwt[w]
+	m := loPairs & ((1 << uint(r*2)) - 1)
+	lo := word & m
+	hi := (word >> 1) & m
+	c3 := bits.OnesCount64(hi & lo)
+	c2 := bits.OnesCount64(hi &^ lo)
+	c1 := bits.OnesCount64(lo &^ hi)
+	out[0] += r - c1 - c2 - c3
+	out[1] += c1
+	out[2] += c2
+	out[3] += c3
+	if x.primary >= w*basesPerWord && x.primary < i {
+		out[0]-- // sentinel is stored as symbol 0
+	}
+	return out
 }
 
 // bwtAt returns the BWT symbol at row i (undefined at primary).

@@ -23,6 +23,11 @@ func NewSeeder(t []byte) *Seeder {
 // Bi exposes the underlying bidirectional index.
 func (s *Seeder) Bi() *BiIndex { return s.bi }
 
+// SetReferenceRank routes the seeder's rank queries through the
+// original block-scanning implementation, reproducing the pre-fast-path
+// cost profile (benchmark/oracle use only; results are identical).
+func (s *Seeder) SetReferenceRank(v bool) { s.bi.SetReferenceRank(v) }
+
 // RefLen returns the reference length.
 func (s *Seeder) RefLen() int { return s.n }
 
@@ -46,35 +51,10 @@ func (s Seed) Len() int { return s.ReadEnd - s.ReadBeg }
 // (occurrence threshold maxMemIntv) — and locates up to maxOcc
 // occurrences per match (0 = unlimited). Memory traffic is
 // accumulated in st.
+// Seeds is a thin wrapper over SeedsWS with a private workspace; hot
+// paths (the SUs, the memo builder) thread a per-worker Workspace
+// through SeedsWS instead so steady-state seeding allocates nothing.
 func (s *Seeder) Seeds(r []byte, minLen, maxOcc, maxMemIntv int, st *Stats) []Seed {
-	smems := s.bi.FindSMEMsReseed(r, minLen, minLen*3/2, 10, st)
-	if maxMemIntv > 0 {
-		seen := make(map[[2]int]bool, len(smems))
-		for _, m := range smems {
-			seen[[2]int{m.ReadBeg, m.ReadEnd}] = true
-		}
-		for _, m := range s.bi.RepeatSeeds(r, minLen, maxMemIntv, st) {
-			if !seen[[2]int{m.ReadBeg, m.ReadEnd}] {
-				smems = append(smems, m)
-			}
-		}
-	}
-	var out []Seed
-	for _, m := range smems {
-		l := m.Len()
-		for _, pos := range s.bi.fwd.LocateAll(m.Iv.Fwd, maxOcc, st) {
-			switch {
-			case pos+l <= s.n:
-				out = append(out, Seed{ReadBeg: m.ReadBeg, ReadEnd: m.ReadEnd, RefPos: pos, Rev: false, Count: m.Iv.Size()})
-			case pos >= s.n:
-				// Occurrence on the reverse-complement half: map back to
-				// forward coordinates.
-				out = append(out, Seed{ReadBeg: m.ReadBeg, ReadEnd: m.ReadEnd, RefPos: 2*s.n - pos - l, Rev: true, Count: m.Iv.Size()})
-			default:
-				// Spans the T / revcomp(T) junction: artifact of the
-				// concatenated index, discard.
-			}
-		}
-	}
-	return out
+	var ws Workspace
+	return s.SeedsWS(&ws, r, minLen, maxOcc, maxMemIntv, st)
 }

@@ -22,20 +22,11 @@ type smemEntry struct {
 // BWA-MEM (bwt_smem1): from each anchor position, extend right
 // recording every interval-size change, then sweep left, emitting a
 // SMEM whenever the longest surviving match can no longer be extended.
+// FindSMEMs is a thin wrapper over FindSMEMsWS with a private
+// workspace; hot paths should reuse a Workspace instead.
 func (b *BiIndex) FindSMEMs(r []byte, minLen int, st *Stats) []SMEM {
-	var out []SMEM
-	x := 0
-	for x < len(r) {
-		x = b.smem1(r, x, 1, &out, st)
-	}
-	// Filter by minimum seed length (done after traversal, as BWA does).
-	keep := out[:0]
-	for _, s := range out {
-		if s.Len() >= minLen {
-			keep = append(keep, s)
-		}
-	}
-	return keep
+	var ws Workspace
+	return b.FindSMEMsWS(&ws, r, minLen, st)
 }
 
 // FindSMEMsReseed runs the full BWA-MEM seeding strategy: the SMEM
@@ -46,29 +37,14 @@ func (b *BiIndex) FindSMEMs(r []byte, minLen int, st *Stats) []SMEM {
 // transposon fragment whose interior matches hundreds of loci).
 // splitLen and splitWidth are BWA-MEM's -r parameters (1.5x min seed
 // length and 10 by default).
+// FindSMEMsReseed is a thin wrapper over FindSMEMsReseedWS with a
+// private workspace. The dedup between the SMEM pass and re-seeding
+// uses the workspace's sorted key set (the original map both mis-sized
+// its pre-allocation — len(out) before re-seeding populates it — and
+// hashed every probe; the sorted sweep does neither).
 func (b *BiIndex) FindSMEMsReseed(r []byte, minLen, splitLen, splitWidth int, st *Stats) []SMEM {
-	out := b.FindSMEMs(r, minLen, st)
-	first := out
-	seen := make(map[[2]int]bool, len(out))
-	for _, s := range out {
-		seen[[2]int{s.ReadBeg, s.ReadEnd}] = true
-	}
-	for _, s := range first {
-		if s.Len() < splitLen || s.Iv.Size() > splitWidth {
-			continue
-		}
-		mid := (s.ReadBeg + s.ReadEnd) / 2
-		var extra []SMEM
-		b.smem1(r, mid, s.Iv.Size()+1, &extra, st)
-		for _, e := range extra {
-			key := [2]int{e.ReadBeg, e.ReadEnd}
-			if e.Len() >= minLen && !seen[key] {
-				seen[key] = true
-				out = append(out, e)
-			}
-		}
-	}
-	return out
+	var ws Workspace
+	return b.FindSMEMsReseedWS(&ws, r, minLen, splitLen, splitWidth, st)
 }
 
 // RepeatSeeds is BWA-MEM's third seeding pass (bwt_seed_strategy1,
@@ -78,30 +54,11 @@ func (b *BiIndex) FindSMEMsReseed(r []byte, minLen, splitLen, splitWidth int, st
 // short seeds inside high-copy repeats, which neither the SMEM pass
 // nor re-seeding reports (a supermaximal match hides them and
 // re-seeding only probes one midpoint).
+// RepeatSeeds is a thin wrapper over RepeatSeedsWS with a private
+// workspace.
 func (b *BiIndex) RepeatSeeds(r []byte, minLen, maxIntv int, st *Stats) []SMEM {
-	var out []SMEM
-	x := 0
-	for x+minLen <= len(r) {
-		ik := b.Single(r[x])
-		if ik.Empty() {
-			x++
-			continue
-		}
-		next := len(r)
-		for i := x + 1; i < len(r); i++ {
-			ok := b.ExtendRight(ik, r[i], st)
-			if ok.Size() < maxIntv && i-x >= minLen {
-				if ik.Size() > 0 {
-					out = append(out, SMEM{ReadBeg: x, ReadEnd: i, Iv: ik})
-				}
-				next = i + 1
-				break
-			}
-			ik = ok
-		}
-		x = next
-	}
-	return out
+	var ws Workspace
+	return b.RepeatSeedsWS(&ws, r, minLen, maxIntv, st)
 }
 
 // smem1 finds all SMEMs containing position x, appends them to out in

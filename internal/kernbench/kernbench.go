@@ -1,0 +1,300 @@
+// Package kernbench defines the repository's before/after kernel
+// benchmark suite in one place, so `go test -bench` (kernbench_test.go)
+// and the `nvwa-bench -kernels` JSON emitter run the exact same
+// measurement bodies.
+//
+// Every case pairs an optimized kernel with its retained reference
+// implementation — the verbatim pre-optimization code path, kept as
+// the correctness oracle — so the reported speedups compare against
+// the honest original cost profile, not a re-optimized stand-in:
+//
+//   - align.Extend: full-row DP (ExtendReference) vs the z-drop-aware
+//     shrinking-band kernel with reused Scratch.
+//   - fmindex.Seeds: map-based three-pass seeding over the 128-base
+//     block-scanning rank vs workspace seeding over per-word rank.
+//   - systolic.Run: the cycle-exact wavefront loop vs the closed-form
+//     row-major fast path (identical Result).
+//   - sim.Schedule: closure events (one allocation each) vs pooled
+//     Task events on the typed heap.
+//   - pipeline.Align: the end-to-end software aligner with every
+//     reference kernel selected vs the optimized kernels.
+package kernbench
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"nvwa/internal/align"
+	"nvwa/internal/fmindex"
+	"nvwa/internal/genome"
+	"nvwa/internal/pipeline"
+	"nvwa/internal/seq"
+	"nvwa/internal/sim"
+	"nvwa/internal/systolic"
+)
+
+// Case is one kernel's before/after benchmark pair.
+type Case struct {
+	// Kernel identifies the kernel and workload shape, e.g.
+	// "align.Extend/101bp".
+	Kernel string
+	// Note says what each side runs.
+	Note string
+	// Before benchmarks the retained reference implementation.
+	Before func(b *testing.B)
+	// After benchmarks the optimized kernel.
+	After func(b *testing.B)
+}
+
+// homologousPair returns a reference window and a diverged read: the
+// read matches the reference prefix with one substitution every div
+// bases, the shape seed extension sees on a real flank.
+func homologousPair(seed int64, refLen, readLen, div int) (ref, read []byte) {
+	rng := rand.New(rand.NewSource(seed))
+	ref = make([]byte, refLen)
+	for i := range ref {
+		ref[i] = byte(rng.Intn(4))
+	}
+	read = make([]byte, readLen)
+	copy(read, ref)
+	for i := div; i < readLen; i += div {
+		read[i] = (read[i] + 1 + byte(rng.Intn(3))) & 3
+	}
+	return ref, read
+}
+
+// repeatText plants tandem and dispersed repeats so all three seeding
+// passes (SMEM, re-seed, repeat) do real work.
+func repeatText(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	unit := make([]byte, 13)
+	for i := range unit {
+		unit[i] = byte(rng.Intn(4))
+	}
+	t := make([]byte, 0, n+len(unit))
+	for len(t) < n {
+		if rng.Intn(3) == 0 {
+			t = append(t, unit...)
+		} else {
+			t = append(t, byte(rng.Intn(4)))
+		}
+	}
+	return t[:n]
+}
+
+// drawReads samples nReads reads of length readLen from text with ~5%
+// substitutions.
+func drawReads(seed int64, text []byte, nReads, readLen int) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	reads := make([][]byte, nReads)
+	for i := range reads {
+		off := rng.Intn(len(text) - readLen)
+		r := make([]byte, readLen)
+		copy(r, text[off:off+readLen])
+		for k := 0; k < readLen/20; k++ {
+			r[rng.Intn(readLen)] = byte(rng.Intn(4))
+		}
+		reads[i] = r
+	}
+	return reads
+}
+
+var (
+	seederOnce sync.Once
+	seederText []byte
+	seeder     *fmindex.Seeder
+	seedReads  [][]byte
+
+	e2eOnce    sync.Once
+	e2eAligner *pipeline.Aligner
+	e2eReads   []seq.Seq
+)
+
+func seedingData() (*fmindex.Seeder, [][]byte) {
+	seederOnce.Do(func() {
+		seederText = repeatText(101, 50000)
+		seeder = fmindex.NewSeeder(seederText)
+		seedReads = drawReads(103, seederText, 64, 101)
+	})
+	return seeder, seedReads
+}
+
+func endToEndData() (*pipeline.Aligner, []seq.Seq) {
+	e2eOnce.Do(func() {
+		ref := genome.Generate(genome.HumanLike(), 100000, 7)
+		e2eAligner = pipeline.New(ref.Seq, pipeline.DefaultOptions())
+		for _, r := range genome.Simulate(ref, 200, genome.ShortReadConfig(9)) {
+			e2eReads = append(e2eReads, r.Seq)
+		}
+	})
+	return e2eAligner, e2eReads
+}
+
+// extendCase builds an align.Extend before/after pair over the given
+// flank shape. initScore models the accumulated seed score; zdrop is
+// the pipeline default.
+func extendCase(name string, refLen, readLen, div, initScore int) Case {
+	sc := align.BWAMEM()
+	const zdrop = 50
+	const pairs = 8
+	build := func() ([][]byte, [][]byte) {
+		refs := make([][]byte, pairs)
+		reads := make([][]byte, pairs)
+		for i := range refs {
+			refs[i], reads[i] = homologousPair(int64(1000*refLen+i), refLen, readLen, div)
+		}
+		return refs, reads
+	}
+	return Case{
+		Kernel: "align.Extend/" + name,
+		Note:   "full-row DP (reference) vs shrinking-band DP with reused Scratch",
+		Before: func(b *testing.B) {
+			refs, reads := build()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := i % pairs
+				align.ExtendReference(refs[k], reads[k], sc, initScore, zdrop)
+			}
+		},
+		After: func(b *testing.B) {
+			refs, reads := build()
+			var s align.Scratch
+			for k := 0; k < pairs; k++ { // warm across the size distribution
+				align.ExtendWithScratch(&s, refs[k], reads[k], sc, initScore, zdrop)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := i % pairs
+				align.ExtendWithScratch(&s, refs[k], reads[k], sc, initScore, zdrop)
+			}
+		},
+	}
+}
+
+// Cases returns the kernel benchmark suite.
+func Cases() []Case {
+	cases := []Case{
+		extendCase("101bp", 120, 101, 25, 19),
+		extendCase("200bp-flank", 240, 200, 50, 19),
+		{
+			Kernel: "fmindex.Seeds/101bp",
+			Note:   "map dedup + 128-base scanning rank (reference) vs workspace + per-word rank",
+			Before: func(b *testing.B) {
+				sd, reads := seedingData()
+				sd.SetReferenceRank(true)
+				defer sd.SetReferenceRank(false)
+				var st fmindex.Stats
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sd.SeedsReference(reads[i%len(reads)], 15, 16, 8, &st)
+				}
+			},
+			After: func(b *testing.B) {
+				sd, reads := seedingData()
+				var ws fmindex.Workspace
+				var st fmindex.Stats
+				for _, r := range reads {
+					sd.SeedsWS(&ws, r, 15, 16, 8, &st) // warm
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sd.SeedsWS(&ws, reads[i%len(reads)], 15, 16, 8, &st)
+				}
+			},
+		},
+		{
+			Kernel: "systolic.Run/64PE-128x101",
+			Note:   "cycle-exact wavefront loop (reference) vs closed-form fast path",
+			Before: func(b *testing.B) {
+				ref, read := homologousPair(31, 128, 101, 25)
+				arr := systolic.Array{PEs: 64, Scoring: align.BWAMEM(), ExactWavefront: true}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					arr.Run(ref, read, systolic.ModeExtend, 19)
+				}
+			},
+			After: func(b *testing.B) {
+				ref, read := homologousPair(31, 128, 101, 25)
+				arr := systolic.Array{PEs: 64, Scoring: align.BWAMEM()}
+				var s systolic.Scratch
+				arr.RunWithScratch(&s, ref, read, systolic.ModeExtend, 19) // warm
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					arr.RunWithScratch(&s, ref, read, systolic.ModeExtend, 19)
+				}
+			},
+		},
+		{
+			Kernel: "sim.Schedule/1k-events",
+			Note:   "closure events (one allocation each) vs pooled Tasks on the typed heap",
+			Before: func(b *testing.B) {
+				var e sim.Engine
+				n := 0
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for j := 0; j < 1024; j++ {
+						jj := j
+						e.At(e.Now()+int64(jj%7), func() { n += jj })
+					}
+					e.Run()
+				}
+			},
+			After: func(b *testing.B) {
+				var e sim.Engine
+				t := &addTask{}
+				for j := 0; j < 1024; j++ { // warm the heap's backing array
+					e.AtTask(e.Now()+int64(j%7), t)
+				}
+				e.Run()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for j := 0; j < 1024; j++ {
+						e.AtTask(e.Now()+int64(j%7), t)
+					}
+					e.Run()
+				}
+			},
+		},
+		{
+			Kernel: "pipeline.Align/end-to-end",
+			Note:   "software aligner, all reference kernels vs all optimized kernels",
+			Before: func(b *testing.B) {
+				a, reads := endToEndData()
+				a.SetReferenceKernels(true)
+				defer a.SetReferenceKernels(false)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					a.Align(0, reads[i%len(reads)])
+				}
+			},
+			After: func(b *testing.B) {
+				a, reads := endToEndData()
+				for _, r := range reads[:8] {
+					a.Align(0, r) // warm the scratch pool
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					a.Align(0, reads[i%len(reads)])
+				}
+			},
+		},
+	}
+	return cases
+}
+
+// addTask is the pooled benchmark task for the scheduling case.
+type addTask struct{ n int }
+
+// Fire implements sim.Task.
+func (t *addTask) Fire() { t.n++ }

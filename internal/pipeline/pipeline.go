@@ -15,6 +15,7 @@ package pipeline
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"nvwa/internal/align"
 	"nvwa/internal/core"
@@ -70,6 +71,60 @@ type Aligner struct {
 	ref    seq.Seq
 	seeder *fmindex.Seeder
 	opts   Options
+
+	// refKernels routes seeding and extension through the original
+	// pre-optimization kernels (see SetReferenceKernels).
+	refKernels bool
+	// scratch pools per-goroutine kernel workspaces: the concurrent
+	// memo builder and the parallel experiment engine call
+	// SeedAndChain/ExtendHitCost from many goroutines over one shared
+	// Aligner, so the zero-alloc workspaces cannot live on the Aligner
+	// itself.
+	scratch sync.Pool
+}
+
+// alnScratch bundles every reusable kernel workspace one alignment
+// call needs, so a pooled Get covers seeding, chaining, and both
+// flank extensions.
+type alnScratch struct {
+	ws         fmindex.Workspace
+	dp         align.Scratch
+	os         []oseed
+	chains     []chain
+	qrev, rrev seq.Seq
+}
+
+func (a *Aligner) getScratch() *alnScratch {
+	if s, ok := a.scratch.Get().(*alnScratch); ok {
+		return s
+	}
+	return &alnScratch{}
+}
+
+func (a *Aligner) putScratch(s *alnScratch) { a.scratch.Put(s) }
+
+// reverseInto writes reverse(s) into *dst (grown as needed) and
+// returns the filled prefix.
+func reverseInto(dst *seq.Seq, s seq.Seq) seq.Seq {
+	if cap(*dst) < len(s) {
+		*dst = make(seq.Seq, len(s))
+	}
+	out := (*dst)[:len(s)]
+	for i, b := range s {
+		out[len(s)-1-i] = b
+	}
+	return out
+}
+
+// SetReferenceKernels routes the aligner through the original
+// pre-optimization kernels — map-based three-pass seeding over the
+// block-scanning rank, and the full-row extension DP — reproducing the
+// pre-fast-path cost profile for before/after benchmarking. Results
+// are identical either way; the toggle only changes cost. Not safe
+// concurrently with alignment calls.
+func (a *Aligner) SetReferenceKernels(v bool) {
+	a.refKernels = v
+	a.seeder.SetReferenceRank(v)
 }
 
 // New indexes the reference and returns an aligner.
@@ -96,14 +151,38 @@ func Orient(read seq.Seq, rev bool) seq.Seq {
 	return read
 }
 
+// oseed is a seed in oriented-read coordinates, the chaining input.
+type oseed struct {
+	rev      bool
+	beg, end int // oriented read coords
+	refPos   int
+}
+
+// chain is one diagonal chain of seeds under construction.
+type chain struct {
+	rev      bool
+	beg, end int
+	refBeg   int
+	diag     int
+	weight   int
+}
+
 // SeedAndChain performs the seeding phase for one read: SMEM seeding,
 // short-seed filtering, and diagonal chaining (Fig. 1 steps 1-2). It
 // returns one Hit per surviving chain with coordinates on the oriented
 // read, plus the index traffic the search generated (the SU cycle
-// model's input).
+// model's input). The returned hits are freshly allocated (callers
+// retain them); all intermediate buffers come from the pooled scratch.
 func (a *Aligner) SeedAndChain(readIdx int, read seq.Seq) ([]core.Hit, fmindex.Stats) {
+	scr := a.getScratch()
+	defer a.putScratch(scr)
 	var st fmindex.Stats
-	seeds := a.seeder.Seeds(read, a.opts.MinSeedLen, a.opts.MaxOcc, a.opts.MaxMemIntv, &st)
+	var seeds []fmindex.Seed
+	if a.refKernels {
+		seeds = a.seeder.SeedsReference(read, a.opts.MinSeedLen, a.opts.MaxOcc, a.opts.MaxMemIntv, &st)
+	} else {
+		seeds = a.seeder.SeedsWS(&scr.ws, read, a.opts.MinSeedLen, a.opts.MaxOcc, a.opts.MaxMemIntv, &st)
+	}
 	if len(seeds) == 0 {
 		return nil, st
 	}
@@ -112,12 +191,10 @@ func (a *Aligner) SeedAndChain(readIdx int, read seq.Seq) ([]core.Hit, fmindex.S
 	// Convert to oriented-read coordinates so chaining is uniform:
 	// a seed read[b,e) on the reverse strand covers oriented read
 	// [L-e, L-b) and matches the reference forward at RefPos.
-	type oseed struct {
-		rev      bool
-		beg, end int // oriented read coords
-		refPos   int
+	if cap(scr.os) < len(seeds) {
+		scr.os = make([]oseed, len(seeds))
 	}
-	os := make([]oseed, len(seeds))
+	os := scr.os[:len(seeds)]
 	for i, s := range seeds {
 		if s.Rev {
 			os[i] = oseed{rev: true, beg: L - s.ReadEnd, end: L - s.ReadBeg, refPos: s.RefPos}
@@ -138,14 +215,7 @@ func (a *Aligner) SeedAndChain(readIdx int, read seq.Seq) ([]core.Hit, fmindex.S
 		return os[i].beg < os[j].beg
 	})
 
-	type chain struct {
-		rev            bool
-		beg, end       int
-		refBeg         int
-		diag           int
-		weight         int
-	}
-	var chains []chain
+	chains := scr.chains[:0]
 	for _, s := range os {
 		d := s.refPos - s.beg
 		merged := false
@@ -181,6 +251,8 @@ func (a *Aligner) SeedAndChain(readIdx int, read seq.Seq) ([]core.Hit, fmindex.S
 			chains = append(chains, chain{rev: s.rev, beg: s.beg, end: s.end, refBeg: s.refPos, diag: d, weight: s.end - s.beg})
 		}
 	}
+
+	scr.chains = chains // retain grown capacity for the next read
 
 	// Filter: drop light chains, keep the MaxChains heaviest.
 	sort.SliceStable(chains, func(i, j int) bool { return chains[i].weight > chains[j].weight })
@@ -260,6 +332,8 @@ func (a *Aligner) ExtendHit(oriented seq.Seq, h core.Hit) core.Extension {
 // ExtendHitCost is ExtendHit plus the processed-extent accounting the
 // EU cycle model consumes.
 func (a *Aligner) ExtendHitCost(oriented seq.Seq, h core.Hit) (core.Extension, ExtendCost) {
+	scr := a.getScratch()
+	defer a.putScratch(scr)
 	sc := a.opts.Scoring
 	leftR, leftQ, rightR, rightQ := a.ExtendDims(h)
 
@@ -268,12 +342,20 @@ func (a *Aligner) ExtendHitCost(oriented seq.Seq, h core.Hit) (core.Extension, E
 	refEnd := h.RefPos + h.SeedLen()
 	var cost ExtendCost
 
+	extend := func(r, q []byte, init int) (int, int, int, int) {
+		if a.refKernels {
+			return align.ExtendReference(r, q, sc, init, a.opts.ZDrop)
+		}
+		return align.ExtendWithScratch(&scr.dp, r, q, sc, init, a.opts.ZDrop)
+	}
+
 	// Left extension: reverse both the query prefix and the reference
-	// window so Extend anchors at the seed's left edge.
+	// window so Extend anchors at the seed's left edge. The reversed
+	// views live in pooled scratch.
 	if leftQ > 0 && leftR > 0 {
-		q := reverseSeq(oriented[h.ReadBeg-leftQ : h.ReadBeg])
-		r := reverseSeq(a.ref[h.RefPos-leftR : h.RefPos])
-		s, rEnd, _, rows := align.Extend(r, q, sc, score, a.opts.ZDrop)
+		q := reverseInto(&scr.qrev, oriented[h.ReadBeg-leftQ:h.ReadBeg])
+		r := reverseInto(&scr.rrev, a.ref[h.RefPos-leftR:h.RefPos])
+		s, rEnd, _, rows := extend(r, q, score)
 		score = s
 		refBeg = h.RefPos - rEnd
 		cost.LeftRows = rows
@@ -283,7 +365,7 @@ func (a *Aligner) ExtendHitCost(oriented seq.Seq, h core.Hit) (core.Extension, E
 	if rightQ > 0 && rightR > 0 {
 		q := oriented[h.ReadEnd : h.ReadEnd+rightQ]
 		r := a.ref[refEnd : refEnd+rightR]
-		s, rEnd, _, rows := align.Extend(r, q, sc, score, a.opts.ZDrop)
+		s, rEnd, _, rows := extend(r, q, score)
 		score = s
 		refEnd += rEnd
 		cost.RightRows = rows
@@ -297,14 +379,6 @@ func minInt(a, b int) int {
 		return a
 	}
 	return b
-}
-
-func reverseSeq(s seq.Seq) seq.Seq {
-	out := make(seq.Seq, len(s))
-	for i, b := range s {
-		out[len(s)-1-i] = b
-	}
-	return out
 }
 
 // Result is the final alignment of one read (Fig. 1 step 4).

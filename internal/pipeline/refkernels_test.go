@@ -1,0 +1,42 @@
+package pipeline
+
+import (
+	"testing"
+
+	"nvwa/internal/genome"
+)
+
+// TestReferenceKernelsIdentical pins the fast-path invariant at the
+// pipeline level: with SetReferenceKernels(true) the aligner runs the
+// original map-based seeding over block-scanning rank and the full-row
+// extension DP, and every output — hits, index-traffic stats, and
+// final alignments — must be identical to the optimized kernels'.
+func TestReferenceKernelsIdentical(t *testing.T) {
+	t.Parallel()
+	a, ref := testAligner(t, 50000, 11)
+	reads := genome.Simulate(ref, 120, genome.ShortReadConfig(4))
+	for _, r := range reads {
+		fastHits, fastSt := a.SeedAndChain(r.ID, r.Seq)
+		fastRes := a.Finish(r.Seq, fastHits)
+
+		a.SetReferenceKernels(true)
+		refHits, refSt := a.SeedAndChain(r.ID, r.Seq)
+		refRes := a.Finish(r.Seq, refHits)
+		a.SetReferenceKernels(false)
+
+		if fastSt != refSt {
+			t.Fatalf("read %d: stats diverge: fast=%+v reference=%+v", r.ID, fastSt, refSt)
+		}
+		if len(fastHits) != len(refHits) {
+			t.Fatalf("read %d: %d hits fast, %d reference", r.ID, len(fastHits), len(refHits))
+		}
+		for i := range fastHits {
+			if fastHits[i] != refHits[i] {
+				t.Fatalf("read %d hit %d: fast=%+v reference=%+v", r.ID, i, fastHits[i], refHits[i])
+			}
+		}
+		if fastRes != refRes {
+			t.Fatalf("read %d: result diverges: fast=%+v reference=%+v", r.ID, fastRes, refRes)
+		}
+	}
+}

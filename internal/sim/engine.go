@@ -5,10 +5,7 @@
 // busy intervals for the Fig. 12 traces.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Engine is a deterministic discrete-event simulator. Events scheduled
 // for the same cycle fire in scheduling order.
@@ -34,41 +31,94 @@ type Engine struct {
 	OnAdvance func(now int64)
 }
 
-type event struct {
-	at  int64
-	seq int64
-	fn  func()
+// Task is a schedulable unit of work. Hot paths schedule pooled Task
+// values via AtTask/AfterTask instead of closures, so steady-state
+// event traffic performs no per-event allocation: the task struct
+// carries its payload and is recycled by its owner after Fire.
+type Task interface {
+	Fire()
 }
 
+// event is one queue entry. Exactly one of fn and task is set; firing
+// order between closure and task events is identical (seq decides).
+type event struct {
+	at   int64
+	seq  int64
+	fn   func()
+	task Task
+}
+
+// eventHeap is a binary min-heap over (at, seq), maintained with
+// hand-rolled sift routines rather than container/heap: the interface
+// methods box every event through interface{}, which allocated on each
+// Push. Pop order is provably identical — (at, seq) is a total order
+// because seq is unique per engine.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	h.siftUp(len(*h) - 1)
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release fn/task references
+	*h = s[:n]
+	if n > 0 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+func (h eventHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // Now returns the current simulation cycle.
 func (e *Engine) Now() int64 { return e.now }
 
-// At schedules fn to run at the given cycle. Scheduling in the past
-// runs fn at the current cycle, after already-queued same-cycle
-// events; such clamps are counted (Clamps) and reported through
-// OnClamp, and panic in Strict mode — a past-cycle schedule is always
-// a cost-model bug, silently absorbed otherwise. Scheduling at the
-// current cycle is normal and not a clamp.
-func (e *Engine) At(cycle int64, fn func()) {
+// clampCycle applies the past-cycle scheduling policy: clamps are
+// counted (Clamps) and reported through OnClamp, and panic in Strict
+// mode — a past-cycle schedule is always a cost-model bug, silently
+// absorbed otherwise. Scheduling at the current cycle is normal and
+// not a clamp.
+func (e *Engine) clampCycle(cycle int64) int64 {
 	if cycle < e.now {
 		delta := e.now - cycle
 		e.clamps++
@@ -81,7 +131,25 @@ func (e *Engine) At(cycle int64, fn func()) {
 		}
 		cycle = e.now
 	}
-	heap.Push(&e.events, event{at: cycle, seq: e.seq, fn: fn})
+	return cycle
+}
+
+// At schedules fn to run at the given cycle. Scheduling in the past
+// runs fn at the current cycle, after already-queued same-cycle
+// events; see clampCycle for the clamp policy.
+func (e *Engine) At(cycle int64, fn func()) {
+	cycle = e.clampCycle(cycle)
+	e.events.push(event{at: cycle, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// AtTask schedules t.Fire to run at the given cycle, with the same
+// clamp policy as At. Unlike At with a fresh closure, AtTask performs
+// no allocation beyond amortized heap growth, so completion paths can
+// recycle task structs across events.
+func (e *Engine) AtTask(cycle int64, t Task) {
+	cycle = e.clampCycle(cycle)
+	e.events.push(event{at: cycle, seq: e.seq, task: t})
 	e.seq++
 }
 
@@ -91,16 +159,27 @@ func (e *Engine) Clamps() int64 { return e.clamps }
 // After schedules fn delay cycles from now.
 func (e *Engine) After(delay int64, fn func()) { e.At(e.now+delay, fn) }
 
+// AfterTask schedules t.Fire delay cycles from now.
+func (e *Engine) AfterTask(delay int64, t Task) { e.AtTask(e.now+delay, t) }
+
+// fire advances time to the event and runs it.
+func (e *Engine) fire(ev event) {
+	e.now = ev.at
+	if e.OnAdvance != nil {
+		e.OnAdvance(e.now)
+	}
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.task.Fire()
+	}
+}
+
 // Run processes events until the queue is empty and returns the final
 // cycle.
 func (e *Engine) Run() int64 {
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(event)
-		e.now = ev.at
-		if e.OnAdvance != nil {
-			e.OnAdvance(e.now)
-		}
-		ev.fn()
+	for len(e.events) > 0 {
+		e.fire(e.events.pop())
 	}
 	return e.now
 }
@@ -108,13 +187,8 @@ func (e *Engine) Run() int64 {
 // RunUntil processes events up to and including the given cycle.
 // Remaining events stay queued.
 func (e *Engine) RunUntil(cycle int64) {
-	for e.events.Len() > 0 && e.events[0].at <= cycle {
-		ev := heap.Pop(&e.events).(event)
-		e.now = ev.at
-		if e.OnAdvance != nil {
-			e.OnAdvance(e.now)
-		}
-		ev.fn()
+	for len(e.events) > 0 && e.events[0].at <= cycle {
+		e.fire(e.events.pop())
 	}
 	if e.now < cycle {
 		e.now = cycle
@@ -123,3 +197,6 @@ func (e *Engine) RunUntil(cycle int64) {
 
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return e.events.Len() }
+
+// Len keeps eventHeap's length accessor for internal callers.
+func (h eventHeap) Len() int { return len(h) }

@@ -1,0 +1,156 @@
+// Closed-form fast path for Array.Run.
+//
+// The cycle-exact wavefront in systolic.go walks every (cycle, PE)
+// pair to produce four quantities, three of which have closed forms:
+// Cycles is Formula 3 by construction (Latency), BusyPECycles is
+// exactly r*q (every active PE computes each of the r reference
+// columns once per pass, and the passes cover all q query rows), and
+// the DP values themselves are the plain affine-gap recurrence — the
+// array's E state carries the horizontal gap within a PE, F flows
+// downstream, and the inter-block SRAM forwards the boundary row, so
+// the union of all passes computes the standard full matrix.
+//
+// The one non-trivial piece is the *recorded cell*: Run updates best
+// on strict improvement in wavefront visitation order (block-major,
+// then cycle, then PE depth descending), so the reported
+// (RefEnd, ReadEnd) is the minimum-visitation-order cell among those
+// attaining the maximum. The fast path computes the same matrix
+// row-major and keeps the minimum wavefront key among the argmax
+// cells, which reproduces the tie-break exactly. TestRunFastMatches
+// and FuzzSystolicFastVsExact check all four outputs cell-for-cell
+// against the wavefront.
+package systolic
+
+// Scratch is a reusable grow-only workspace for RunWithScratch. The
+// zero value is ready to use; not safe for concurrent use.
+type Scratch struct {
+	h, f []int
+}
+
+func grow(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// RunWithScratch is Run using s for the rolling DP rows, taking the
+// closed-form fast path unless the array is configured with
+// ExactWavefront.
+func (a *Array) RunWithScratch(s *Scratch, ref, query []byte, mode Mode, initScore int) Result {
+	if a.ExactWavefront {
+		return a.runWavefront(ref, query, mode, initScore)
+	}
+	return a.runFast(s, ref, query, mode, initScore)
+}
+
+// runFast computes Run's Result without the cycle loop: DP row-major
+// with rolling rows, analytic Cycles/BusyPECycles, and wavefront-order
+// tie-breaking for the recorded cell.
+func (a *Array) runFast(s *Scratch, ref, query []byte, mode Mode, initScore int) Result {
+	p := a.PEs
+	r, q := len(ref), len(query)
+	res := Result{Cycles: Latency(r, q, p)}
+	if r == 0 || q == 0 || p == 0 {
+		if mode == ModeExtend {
+			res.Score = initScore
+		}
+		return res
+	}
+	res.BusyPECycles = r * q
+	sc := a.Scoring
+	goe := sc.GapOpen + sc.GapExtend
+	ge := sc.GapExtend
+
+	// h[j], f[j]: H and F of the previous row at reference column j.
+	s.h = grow(s.h, r+1)
+	s.f = grow(s.f, r+1)
+	h, f := s.h, s.f
+
+	// boundary returns H(i, 0), the left/top boundary value.
+	boundary := func(i int) int {
+		if mode != ModeExtend {
+			return 0
+		}
+		if i == 0 {
+			return initScore
+		}
+		return initScore - sc.GapOpen - i*ge
+	}
+	for j := 0; j <= r; j++ {
+		h[j] = boundary(0)
+		f[j] = negInf
+		if mode == ModeExtend && j > 0 {
+			h[j] = initScore - sc.GapOpen - j*ge
+		}
+	}
+
+	best, bi, bj := 0, 0, 0
+	if mode == ModeExtend {
+		best = initScore
+	}
+	// Wavefront visitation key of cell (query row i, ref col j):
+	// block b=(i-1)/p, PE k=(i-1)%p, cycle c=j+k-1, PEs visited
+	// k-descending within a cycle. Keys are unique per cell and ordered
+	// exactly as the wavefront visits them.
+	bestKey := 0
+	recorded := false
+	rowSpan := r + p - 1
+	local := mode == ModeLocal
+
+	for i := 1; i <= q; i++ {
+		k := (i - 1) % p
+		keyBase := ((i-1)/p*rowSpan + k - 1) * p // key(j) = keyBase + j*p + (p-1-k)
+		keyOff := p - 1 - k
+		hDiag := h[0] // H(i-1, 0)
+		h[0] = boundary(i)
+		hLeft := h[0]
+		e := negInf
+		qi := query[i-1]
+		_ = h[r]
+		_ = f[r]
+		_ = ref[r-1]
+		for j := 1; j <= r; j++ {
+			e -= ge
+			if eo := hLeft - goe; eo > e {
+				e = eo
+			}
+			fv := f[j] - ge
+			if fo := h[j] - goe; fo > fv {
+				fv = fo
+			}
+			hv := hDiag
+			if ref[j-1] == qi {
+				hv += sc.Match
+			} else {
+				hv -= sc.Mismatch
+			}
+			hDiag = h[j]
+			if e > hv {
+				hv = e
+			}
+			if fv > hv {
+				hv = fv
+			}
+			if local && hv < 0 {
+				hv = 0
+			}
+			h[j] = hv
+			f[j] = fv
+			hLeft = hv
+			if hv > best {
+				best, bi, bj = hv, j, i
+				bestKey = keyBase + j*p + keyOff
+				recorded = true
+			} else if recorded && hv == best {
+				if key := keyBase + j*p + keyOff; key < bestKey {
+					bi, bj, bestKey = j, i, key
+				}
+			}
+		}
+	}
+	res.Score = best
+	res.RefEnd = bi
+	res.ReadEnd = bj
+	return res
+}

@@ -1,0 +1,169 @@
+package systolic
+
+import (
+	"math/rand"
+	"testing"
+
+	"nvwa/internal/align"
+)
+
+func randSeq(rng *rand.Rand, n int) []byte {
+	const bases = "ACGT"
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = bases[rng.Intn(4)]
+	}
+	return s
+}
+
+// mutatedCopy plants homology so score ties (repeats, equal-scoring
+// end cells) actually occur and exercise the tie-break logic.
+func mutatedCopy(rng *rand.Rand, src []byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		if i < len(src) && rng.Intn(8) > 0 {
+			out[i] = src[i]
+		} else {
+			out[i] = "ACGT"[rng.Intn(4)]
+		}
+	}
+	return out
+}
+
+// TestRunFastMatchesWavefront drives the closed-form fast path against
+// the cycle-exact wavefront across random sizes, PE counts, scoring
+// schemes, and both modes. All four Result fields must match —
+// including RefEnd/ReadEnd, whose tie-breaking follows wavefront
+// visitation order.
+func TestRunFastMatchesWavefront(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(41))
+	trials := 1500
+	if testing.Short() {
+		trials = 300
+	}
+	var s Scratch
+	for trial := 0; trial < trials; trial++ {
+		r := 1 + rng.Intn(140)
+		q := 1 + rng.Intn(120)
+		ref := randSeq(rng, r)
+		var query []byte
+		if rng.Intn(2) == 0 {
+			query = randSeq(rng, q)
+		} else {
+			query = mutatedCopy(rng, ref, q)
+		}
+		arr := &Array{
+			PEs: 1 + rng.Intn(70),
+			Scoring: align.Scoring{
+				Match:     1 + rng.Intn(4),
+				Mismatch:  rng.Intn(6),
+				GapOpen:   rng.Intn(8),
+				GapExtend: rng.Intn(4),
+			},
+		}
+		mode := Mode(rng.Intn(2))
+		init := rng.Intn(40)
+		fast := arr.RunWithScratch(&s, ref, query, mode, init)
+		arr.ExactWavefront = true
+		exact := arr.Run(ref, query, mode, init)
+		arr.ExactWavefront = false
+		if fast != exact {
+			t.Fatalf("trial %d (p=%d mode=%d init=%d r=%d q=%d sc=%+v):\n fast  = %+v\n exact = %+v",
+				trial, arr.PEs, mode, init, r, q, arr.Scoring, fast, exact)
+		}
+	}
+}
+
+// TestRunFastAdversarial pins tie-heavy and degenerate inputs: mono-base
+// repeats (maximal score ties), single-base sequences, PE counts larger
+// and smaller than the query, and empty inputs.
+func TestRunFastAdversarial(t *testing.T) {
+	t.Parallel()
+	rep := func(b byte, n int) []byte {
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = b
+		}
+		return s
+	}
+	sc := align.BWAMEM()
+	cases := []struct {
+		name       string
+		ref, query []byte
+		p, init    int
+		mode       Mode
+	}{
+		{"mono-repeat-local", rep('A', 60), rep('A', 50), 8, 0, ModeLocal},
+		{"mono-repeat-extend", rep('A', 60), rep('A', 50), 8, 10, ModeExtend},
+		{"all-mismatch-extend", rep('A', 40), rep('C', 40), 16, 25, ModeExtend},
+		{"single-pe", rep('G', 30), rep('G', 30), 1, 0, ModeExtend},
+		{"pe-exceeds-query", rep('T', 20), rep('T', 5), 64, 0, ModeExtend},
+		{"single-base", []byte("A"), []byte("A"), 4, 0, ModeLocal},
+		{"empty-ref", nil, []byte("ACGT"), 4, 7, ModeExtend},
+		{"empty-query", []byte("ACGT"), nil, 4, 7, ModeExtend},
+		{"tandem-repeat", []byte("ACACACACACACACACACAC"), []byte("ACACACACAC"), 3, 0, ModeLocal},
+	}
+	var s Scratch
+	for _, tc := range cases {
+		arr := &Array{PEs: tc.p, Scoring: sc}
+		fast := arr.RunWithScratch(&s, tc.ref, tc.query, tc.mode, tc.init)
+		arr.ExactWavefront = true
+		exact := arr.Run(tc.ref, tc.query, tc.mode, tc.init)
+		if fast != exact {
+			t.Errorf("%s: fast=%+v exact=%+v", tc.name, fast, exact)
+		}
+	}
+}
+
+// TestRunFastZeroAlloc asserts the steady-state contract: a warm
+// Scratch performs no heap allocations per Run.
+func TestRunFastZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ref := randSeq(rng, 128)
+	query := mutatedCopy(rng, ref, 101)
+	arr := &Array{PEs: 64, Scoring: align.BWAMEM()}
+	var s Scratch
+	arr.RunWithScratch(&s, ref, query, ModeExtend, 0) // warm
+	allocs := testing.AllocsPerRun(100, func() {
+		arr.RunWithScratch(&s, ref, query, ModeExtend, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("RunWithScratch allocates %v per run with warm scratch, want 0", allocs)
+	}
+}
+
+// FuzzSystolicFastVsExact is the CI differential fuzz target: the
+// closed-form fast path must equal the cycle-exact wavefront on
+// arbitrary byte sequences, PE counts, and scoring parameters.
+func FuzzSystolicFastVsExact(f *testing.F) {
+	f.Add([]byte("ACGTACGTACGT"), []byte("ACGTACGT"), uint8(4), uint8(1), uint8(4), uint8(6), uint8(1), uint8(10), false)
+	f.Add([]byte("AAAAAAAA"), []byte("AAAA"), uint8(2), uint8(2), uint8(3), uint8(0), uint8(2), uint8(0), true)
+	f.Add([]byte("GATTACA"), []byte("GATTACA"), uint8(63), uint8(1), uint8(0), uint8(7), uint8(3), uint8(30), false)
+	f.Fuzz(func(t *testing.T, ref, query []byte, p, match, mis, gapO, gapE, init uint8, localMode bool) {
+		if len(ref) > 256 || len(query) > 256 {
+			return
+		}
+		arr := &Array{
+			PEs: 1 + int(p)%96,
+			Scoring: align.Scoring{
+				Match:     1 + int(match)%8,
+				Mismatch:  int(mis) % 10,
+				GapOpen:   int(gapO) % 12,
+				GapExtend: int(gapE) % 5,
+			},
+		}
+		mode := ModeExtend
+		if localMode {
+			mode = ModeLocal
+		}
+		var s Scratch
+		fast := arr.RunWithScratch(&s, ref, query, mode, int(init))
+		arr.ExactWavefront = true
+		exact := arr.Run(ref, query, mode, int(init))
+		if fast != exact {
+			t.Fatalf("fast=%+v exact=%+v (p=%d sc=%+v mode=%d init=%d ref=%q query=%q)",
+				fast, exact, arr.PEs, arr.Scoring, mode, init, ref, query)
+		}
+	})
+}

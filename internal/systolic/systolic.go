@@ -70,13 +70,31 @@ type Array struct {
 	PEs int
 	// Scoring is the alignment scoring scheme loaded into the PEs.
 	Scoring align.Scoring
+	// ExactWavefront forces Run to execute the cycle-exact wavefront
+	// schedule instead of the closed-form fast path. The two are
+	// byte-identical (see fast.go and the differential fuzz target);
+	// the exact loop remains for microarchitectural studies that
+	// observe individual (cycle, PE) pairs.
+	ExactWavefront bool
 }
 
 const negInf = int(-1) << 30
 
-// Run streams ref through the array against query, cycle by cycle.
-// initScore seeds ModeExtend (ignored by ModeLocal).
+// Run streams ref through the array against query. initScore seeds
+// ModeExtend (ignored by ModeLocal). By default Run takes the
+// closed-form fast path — identical Result, no cycle loop; set
+// ExactWavefront to execute the wavefront schedule cycle by cycle.
 func (a *Array) Run(ref, query []byte, mode Mode, initScore int) Result {
+	if a.ExactWavefront {
+		return a.runWavefront(ref, query, mode, initScore)
+	}
+	var s Scratch
+	return a.runFast(&s, ref, query, mode, initScore)
+}
+
+// runWavefront executes the wavefront schedule cycle by cycle, one
+// inner iteration per (cycle, PE) pair.
+func (a *Array) runWavefront(ref, query []byte, mode Mode, initScore int) Result {
 	p := a.PEs
 	r, q := len(ref), len(query)
 	res := Result{Cycles: Latency(r, q, p)}

@@ -2,8 +2,8 @@
 //
 // Usage:
 //
-//	nvwa-bench [-exp all|fig2|fig5|fig6|fig8|fig9|fig11|fig12|fig13a|fig13b|fig14|tab1|tab2]
-//	           [-reads N] [-reflen N] [-seed N]
+//	nvwa-bench [-exp all|fig2|fig5|fig6|fig8|fig9|fig11|fig12|fig13a|fig13b|fig14|tab1|tab2|chaos]
+//	           [-reads N] [-reflen N] [-seed N] [-chaos-seeds N]
 //	           [-parallel] [-j N] [-json BENCH_parallel.json]
 //
 // Each experiment prints the rows or series of the corresponding paper
@@ -25,6 +25,17 @@
 // Chrome trace_event timeline and a JSON metrics snapshot. Observation
 // never changes results. -cpuprofile/-memprofile write pprof profiles
 // of the bench process.
+//
+// -exp chaos runs the fault-injection chaos harness: -chaos-seeds
+// seeded fault schedules swept across all four Hits Allocator
+// strategies, each run under a watchdog with the scheduler invariant
+// checker attached. It is excluded from -exp all (it simulates
+// degraded hardware, not a paper figure); select it explicitly. The
+// bench exits 1 if any chaos run hangs past its budget or leaks a hit.
+//
+// Exit codes: 0 success; 1 runtime failure (including a chaos
+// conservation violation or watchdog abort); 2 usage error (unknown
+// flag or unknown experiment id).
 package main
 
 import (
@@ -42,7 +53,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig2,fig5,fig6,fig8,fig9,fig11,fig12,fig13a,fig13b,fig14,tab1,tab2,seeding,intraunit,bands,frontend) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (fig2,fig5,fig6,fig8,fig9,fig11,fig12,fig13a,fig13b,fig14,tab1,tab2,seeding,intraunit,bands,frontend,chaos) or 'all' (chaos excluded)")
+	chaosSeeds := flag.Int("chaos-seeds", 4, "number of seeded fault schedules per allocator strategy for -exp chaos")
 	reads := flag.Int("reads", 4000, "number of simulated reads for system experiments")
 	refLen := flag.Int("reflen", 200000, "synthetic reference length (bp)")
 	seed := flag.Int64("seed", 42, "random seed")
@@ -101,12 +113,33 @@ func main() {
 		runner = experiments.NewRunner(*jobs)
 	}
 
+	known := map[string]bool{"all": true}
+	for _, id := range []string{
+		"fig2", "fig5", "fig6", "fig8", "fig9", "fig11", "fig12",
+		"fig13a", "fig13b", "fig14", "tab1", "tab2",
+		"seeding", "intraunit", "bands", "frontend", "chaos",
+	} {
+		known[id] = true
+	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
-		want[strings.TrimSpace(e)] = true
+		id := strings.TrimSpace(e)
+		if !known[id] {
+			fmt.Fprintf(os.Stderr, "nvwa-bench: unknown experiment %q\n", id)
+			flag.Usage()
+			os.Exit(2)
+		}
+		want[id] = true
+	}
+	if *chaosSeeds <= 0 {
+		fmt.Fprintf(os.Stderr, "nvwa-bench: -chaos-seeds must be positive, got %d\n", *chaosSeeds)
+		flag.Usage()
+		os.Exit(2)
 	}
 	all := want["all"]
-	need := func(id string) bool { return all || want[id] }
+	// The chaos harness simulates degraded hardware rather than a paper
+	// artifact, so "all" does not imply it; select it explicitly.
+	need := func(id string) bool { return (all && id != "chaos") || want[id] }
 
 	var env *experiments.Env
 	getEnv := func() *experiments.Env {
@@ -208,6 +241,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(experiments.FormatFrontEnds(rows))
+		ran++
+	}
+	if need("chaos") {
+		cfg := experiments.DefaultChaosConfig()
+		cfg.Seeds = *chaosSeeds
+		cfg.Template.Seed = *seed
+		res := experiments.Chaos(getEnv(), cfg, runner)
+		fmt.Println(res.Format())
+		if err := res.Err(); err != nil {
+			fail(err)
+		}
 		ran++
 	}
 	if need("tab1") {

@@ -11,6 +11,9 @@
 // -parallel (or -j > 1) fans the independent design points across a
 // worker pool backed by the shared functional memo cache; the CSV is
 // byte-identical to the serial sweep.
+//
+// Exit codes: 0 success; 2 usage error (unknown flag, malformed or
+// non-positive sweep values).
 package main
 
 import (
@@ -34,6 +37,12 @@ func main() {
 	jobs := flag.Int("j", 0, "worker count for -parallel (0 = GOMAXPROCS; >1 implies -parallel)")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fail(fmt.Errorf("nvwa-dse: unexpected arguments: %v", flag.Args()))
+	}
+	if *reads <= 0 || *refLen <= 0 {
+		fail(fmt.Errorf("nvwa-dse: -reads and -reflen must be positive (got %d, %d)", *reads, *refLen))
+	}
 	ds, err := parseInts(*depths)
 	if err != nil {
 		fail(err)
@@ -68,6 +77,9 @@ func parseInts(s string) ([]int, error) {
 		v, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil {
 			return nil, fmt.Errorf("nvwa-dse: bad integer %q", f)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("nvwa-dse: sweep values must be positive, got %d", v)
 		}
 		out = append(out, v)
 	}

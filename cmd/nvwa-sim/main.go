@@ -8,6 +8,7 @@
 //	         [-sus N] [-buffer N] [-seeding one-cycle|batch]
 //	         [-alloc grouped|exclusive|shared|fifo]
 //	         [-pool derived|table1|uniform]
+//	         [-faults SPEC] [-watchdog N]
 //	         [-trace FILE] [-metrics FILE]
 //	         [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -18,6 +19,17 @@
 // observability layer, which never changes the simulation: the report
 // is identical with or without it. -cpuprofile/-memprofile write
 // pprof profiles of the simulator process itself.
+//
+// -faults injects a deterministic fault schedule. SPEC is either an
+// explicit plan in wire form ("v1;eu-fail@5000#3,su-stall@100#7+256")
+// or a seeded generator spec ("seed=7,eu-fail=2,su-stall=3"; keys:
+// seed, horizon, su-stall, su-fail, eu-stall, eu-fail, mem-timeout,
+// pressure, mean-stall, mean-window). The report then carries the
+// fault-injection accounting. -watchdog N bounds the run to N cycles
+// and diagnoses livelock; 0 disables.
+//
+// Exit codes: 0 success; 1 runtime failure (including a watchdog
+// abort); 2 usage error (unknown flag or invalid flag value).
 package main
 
 import (
@@ -27,6 +39,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"nvwa"
 	"nvwa/internal/accel"
@@ -44,12 +57,29 @@ func main() {
 	alloc := flag.String("alloc", "grouped", "hits allocator: grouped, exclusive, shared, fifo")
 	pool := flag.String("pool", "derived", "EU pool: derived (Eq. 5 from workload), table1, uniform")
 	frontend := flag.String("frontend", "fm", "seeding front end: fm (BWA-MEM three-pass) or minimizer")
+	faultsSpec := flag.String("faults", "", "fault schedule: wire form (\"v1;...\") or generator spec (\"seed=7,eu-fail=2\")")
+	watchdog := flag.Int64("watchdog", 0, "abort the run after N cycles with a livelock diagnosis (0 = off)")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON instead of text")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event timeline of the run to FILE")
 	metricsOut := flag.String("metrics", "", "write a JSON metrics snapshot of the run to FILE")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator to FILE")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to FILE")
 	flag.Parse()
+
+	if flag.NArg() > 0 {
+		usage(fmt.Errorf("unexpected arguments: %v", flag.Args()))
+	}
+	for _, p := range []struct {
+		name string
+		v    int
+	}{{"reads", *reads}, {"reflen", *refLen}, {"sus", *sus}, {"buffer", *buffer}} {
+		if p.v <= 0 {
+			usage(fmt.Errorf("-%s must be a positive integer, got %d", p.name, p.v))
+		}
+	}
+	if *watchdog < 0 {
+		usage(fmt.Errorf("-watchdog must be >= 0, got %d", *watchdog))
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -80,7 +110,7 @@ func main() {
 	case "uniform":
 		opts.Config = opts.Config.UniformEUConfig(64)
 	default:
-		fail(fmt.Errorf("unknown pool %q", *pool))
+		usage(fmt.Errorf("unknown pool %q", *pool))
 	}
 	opts.Config.NumSUs = *sus
 	opts.Config.HitsBufferDepth = *buffer
@@ -90,7 +120,7 @@ func main() {
 	case "batch":
 		opts.SeedStrategy = accel.ReadInBatch
 	default:
-		fail(fmt.Errorf("unknown seeding strategy %q", *seeding))
+		usage(fmt.Errorf("unknown seeding strategy %q", *seeding))
 	}
 	switch *alloc {
 	case "grouped":
@@ -102,7 +132,7 @@ func main() {
 	case "fifo":
 		opts.AllocStrategy = coordinator.FIFO
 	default:
-		fail(fmt.Errorf("unknown alloc strategy %q", *alloc))
+		usage(fmt.Errorf("unknown alloc strategy %q", *alloc))
 	}
 
 	switch *frontend {
@@ -114,7 +144,18 @@ func main() {
 		}
 		opts.Seeder = ms
 	default:
-		fail(fmt.Errorf("unknown frontend %q", *frontend))
+		usage(fmt.Errorf("unknown frontend %q", *frontend))
+	}
+
+	if *faultsSpec != "" {
+		plan, err := parseFaults(*faultsSpec, opts.Config.NumSUs, opts.Config.TotalEUs())
+		if err != nil {
+			usage(err)
+		}
+		opts.Faults = plan
+	}
+	if *watchdog > 0 {
+		opts.Watchdog = &nvwa.Watchdog{MaxCycles: *watchdog}
 	}
 
 	var ob *obs.Observer
@@ -127,7 +168,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	rep := acc.Run(seqs)
+	rep, runErr := acc.RunChecked(seqs)
 
 	if ob != nil {
 		if err := ob.Inv.Err(); err != nil {
@@ -159,6 +200,9 @@ func main() {
 		if err := enc.Encode(rep); err != nil {
 			fail(err)
 		}
+		if runErr != nil {
+			fail(fmt.Errorf("watchdog: %w", runErr))
+		}
 		return
 	}
 
@@ -180,6 +224,36 @@ func main() {
 	fmt.Printf("aligned:       %d/%d reads\n", aligned, rep.Reads)
 	fmt.Printf("energy:        %.3g J (%.2f W avg, %.3g J/read)\n",
 		rep.Energy.TotalJ, rep.Energy.AvgPowerW, rep.Energy.PerReadJ)
+	if f := rep.Faults; f != nil {
+		fmt.Printf("faults:        %d planned, %d injected (%d absorbed, %d expired)\n",
+			f.Planned, f.Injected, f.Absorbed, f.Expired)
+		fmt.Printf("  unit losses: %d SU failed, %d EU failed; stalls %d+%d cyc, mem delay %d cyc\n",
+			f.SUFailures, f.EUFailures, f.SUStallCycles, f.EUStallCycles, f.MemDelayCycles)
+		fmt.Printf("  degradation: %d reads reseeded, %d abandoned; hits %d requeued, %d retried, %d dead-lettered, %d shed\n",
+			f.ReadsReseeded, f.ReadsAbandoned, f.Requeued, f.Retried, f.DeadLettered, f.Shed)
+		if f.DegradedThroughputRPS > 0 {
+			fmt.Printf("  degraded throughput: %.0f Kreads/s\n", f.DegradedThroughputRPS/1000)
+		}
+		if f.WatchdogErr != "" {
+			fmt.Printf("  watchdog: %s\n", f.WatchdogErr)
+		}
+	}
+	if runErr != nil {
+		fail(fmt.Errorf("watchdog: %w", runErr))
+	}
+}
+
+// parseFaults decodes -faults: an explicit wire-form plan ("v1;...")
+// or a generator spec instantiated over the configured unit counts.
+func parseFaults(spec string, numSUs, numEUs int) (*nvwa.FaultPlan, error) {
+	if strings.HasPrefix(spec, "v1") {
+		return nvwa.ParseFaultPlan(spec)
+	}
+	sp, err := nvwa.ParseFaultSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return sp.Generate(numSUs, numEUs), nil
 }
 
 func sample(seqs []nvwa.Sequence, n int) []nvwa.Sequence {
@@ -211,7 +285,16 @@ func writeObs(ob *obs.Observer, tracePath, metricsPath string) error {
 	return write(metricsPath, func(f *os.File) error { return ob.Metrics.WriteJSON(f) })
 }
 
+// fail reports a runtime failure (exit 1).
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "nvwa-sim:", err)
 	os.Exit(1)
+}
+
+// usage reports an invalid invocation (exit 2), matching the flag
+// package's own exit code for unknown flags.
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "nvwa-sim:", err)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -40,6 +40,12 @@ type Memo struct {
 	ext   extender   // the extension engine the cache was built over
 	reads []seq.Seq
 	per   []memoRead
+	// planHash keys the cache to the fault plan it was warmed for
+	// (fault.Plan.Hash; 0 = fault-free). New consults it so a memo
+	// warmed fault-free can never be replayed into a faulted
+	// configuration — degraded runs must recompute through the live
+	// path rather than inherit fault-free results.
+	planHash uint64
 }
 
 // extender is eu.Extender, redeclared locally to avoid an import cycle
@@ -128,6 +134,24 @@ func (m *Memo) buildRead(i int) {
 // and can therefore replay its results. A System configured with a
 // different Seeder must not consume this cache.
 func (m *Memo) Replays(front su.Seeding) bool { return m != nil && m.front == front }
+
+// CoversPlan reports whether the memo is keyed to the given fault-plan
+// hash. A fresh BuildMemo is keyed fault-free (hash 0); use KeyedTo to
+// warm a cache for a specific plan. The gate is deliberately
+// conservative: even though the functional results are plan-invariant,
+// a replay cache must never be a channel by which a faulted
+// configuration inherits fault-free state it did not earn.
+func (m *Memo) CoversPlan(planHash uint64) bool { return m != nil && m.planHash == planHash }
+
+// KeyedTo re-keys the memo to hash (a fault.Plan.Hash value) and
+// returns it, so a cache can be deliberately warmed for one fault
+// plan: BuildMemo(...).KeyedTo(plan.Hash()).
+func (m *Memo) KeyedTo(planHash uint64) *Memo {
+	if m != nil {
+		m.planHash = planHash
+	}
+	return m
+}
 
 // Reads returns the workload the memo was built for.
 func (m *Memo) Reads() []seq.Seq { return m.reads }

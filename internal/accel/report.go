@@ -5,6 +5,7 @@ import (
 
 	"nvwa/internal/coordinator"
 	"nvwa/internal/energy"
+	"nvwa/internal/fault"
 	"nvwa/internal/mem"
 	"nvwa/internal/pipeline"
 	"nvwa/internal/sim"
@@ -48,6 +49,11 @@ type Report struct {
 	PerClassEUUtil []float64
 	// Energy is the Table II-based energy estimate for the run.
 	Energy energy.Estimate
+	// Faults is the fault-injection accounting: injected / absorbed /
+	// retried / dead-lettered counts, degraded throughput, and any
+	// watchdog diagnosis. nil on fault-free runs without a watchdog
+	// trip, so existing Reports are unchanged byte-for-byte.
+	Faults *fault.Summary `json:",omitempty"`
 }
 
 func (s *System) report(end int64) *Report {
@@ -108,6 +114,7 @@ func (s *System) report(end int64) *Report {
 	if peTotal > 0 {
 		r.EUPEUtil = peBusy / peTotal
 	}
+	s.faultSummary(r)
 	s.finalizeObs(r, end)
 	return r
 }

@@ -16,12 +16,27 @@ import (
 // the Allocate Trigger requests a round whenever enough EUs idle; each
 // round greedily assigns a window of hits to idle EUs, compacting
 // allocation failures back into the Processing Buffer.
+//
+// Under a watchdog a diagnosed abort still yields the partial report;
+// use RunChecked to also receive the error.
 func (s *System) Run(reads []seq.Seq) *Report {
+	r, _ := s.RunChecked(reads)
+	return r
+}
+
+// RunChecked is Run returning the watchdog error, if any: a non-nil
+// error means the configured sim.Watchdog diagnosed a cycle-budget or
+// no-progress abort, and the report covers only the simulated prefix
+// (its FaultSummary carries the same diagnosis).
+func (s *System) RunChecked(reads []seq.Seq) (*Report, error) {
 	s.reads = reads
 	s.results = make([]pipeline.Result, len(reads))
 	s.bestHit = make([]int, len(reads))
 	for i := range s.bestHit {
 		s.bestHit[i] = -1
+	}
+	if s.flt != nil {
+		s.flt.hadHits = make([]bool, len(reads))
 	}
 
 	switch s.opts.SeedStrategy {
@@ -33,11 +48,13 @@ func (s *System) Run(reads []seq.Seq) *Report {
 	case ReadInBatch:
 		s.eng.At(0, s.issueBatch)
 	}
-	s.eng.Run()
-	s.drain()
+	s.runEngine()
+	if s.wdErr == nil {
+		s.drain()
+	}
 
 	end := s.eng.Now()
-	if o := s.opts.Obs; o != nil {
+	if o := s.opts.Obs; o != nil && s.wdErr == nil {
 		o.Inv.CheckDrained(end, s.buffer.SBLen(), s.buffer.PBRemaining(), len(s.blocked))
 	}
 	for _, u := range s.sus {
@@ -46,7 +63,20 @@ func (s *System) Run(reads []seq.Seq) *Report {
 	for _, u := range s.eus {
 		u.SetIdle(end)
 	}
-	return s.report(end)
+	return s.report(end), s.wdErr
+}
+
+// runEngine drives the event loop, under the configured watchdog when
+// one is set. The first watchdog trip is latched in wdErr and stops
+// all further processing.
+func (s *System) runEngine() {
+	if s.opts.Watchdog == nil {
+		s.eng.Run()
+		return
+	}
+	if _, err := s.eng.RunGuarded(s.opts.Watchdog); err != nil {
+		s.wdErr = err
+	}
 }
 
 // suTask is the pooled event payload for one SU's read: it fires once
@@ -68,14 +98,27 @@ func (t *suTask) Fire() {
 	s := t.s
 	if !t.started {
 		hits, done := t.u.Process(s.eng.Now(), t.idx, s.reads[t.idx])
+		if s.flt != nil {
+			// Transient SU stall: the unit holds its result for the
+			// injected extra cycles.
+			if d := s.flt.inj.TakeSUStall(t.u.ID()); d > 0 {
+				done += d
+			}
+		}
 		t.hits = hits
 		t.started = true
 		s.eng.AtTask(done, t)
 		return
 	}
-	u, hits := t.u, t.hits
+	u, idx, hits := t.u, t.idx, t.hits
 	t.u, t.hits, t.started = nil, nil, false
 	s.suFree = append(s.suFree, t)
+	if s.flt != nil && s.flt.inj.SUFailed(u.ID()) {
+		// The unit failed while seeding: discard its output and
+		// redistribute the read (OCRA degradation policy).
+		s.suFailedMidTask(u, idx)
+		return
+	}
 	s.suDone(u, hits)
 }
 
@@ -92,41 +135,53 @@ func (s *System) getSUTask(u *su.Unit, idx int) *suTask {
 
 // startOneCycle allocates the next read to an idle SU one cycle after
 // it frees (the One-Cycle Read Allocator's behaviour: every idle unit
-// is refilled in a single cycle).
+// is refilled in a single cycle). Under faults, failed units park and
+// requeued reads are served first (see takeRead).
 func (s *System) startOneCycle(u *su.Unit) {
 	now := s.eng.Now()
-	if s.nextRead >= len(s.reads) {
+	if s.flt != nil && s.flt.inj.SUFailed(u.ID()) {
 		u.Stop()
 		return
 	}
-	idx := s.nextRead
-	s.nextRead++
-	ready := s.prefet.ReadyAt(now+1, idx)
+	idx, ok := s.takeRead()
+	if !ok {
+		u.Stop()
+		return
+	}
+	ready := s.readReadyAt(now, idx)
 	u.SetBusy(now + 1)
 	s.eng.AtTask(ready, s.getSUTask(u, idx))
 }
 
 // issueBatch implements Read-in-Batch: all SUs receive reads together,
-// and the next batch waits for the slowest unit.
+// and the next batch waits for the slowest unit. Under faults only
+// healthy units receive reads; failed units count as permanently idle
+// so the batch barrier still closes.
 func (s *System) issueBatch() {
 	now := s.eng.Now()
-	if s.nextRead >= len(s.reads) {
+	if s.inputDone() {
 		for _, u := range s.sus {
 			u.Stop()
 		}
 		s.maybeSwitch()
 		return
 	}
-	n := len(s.sus)
-	if rem := len(s.reads) - s.nextRead; rem < n {
+	targets := s.sus
+	if s.flt != nil {
+		targets = s.batchTargets()
+	}
+	n := len(targets)
+	if rem := s.remainingReads(); rem < n {
 		n = rem
 	}
 	s.idleSUs = len(s.sus) - n // units without work this batch stay idle
 	for i := 0; i < n; i++ {
-		u := s.sus[i]
-		idx := s.nextRead
-		s.nextRead++
-		ready := s.prefet.ReadyAt(now+1, idx)
+		u := targets[i]
+		idx, ok := s.takeRead()
+		if !ok {
+			break
+		}
+		ready := s.readReadyAt(now, idx)
 		u.SetBusy(now + 1)
 		s.eng.AtTask(ready, s.getSUTask(u, idx))
 	}
@@ -138,14 +193,27 @@ func (s *System) suDone(u *su.Unit, hits []core.Hit) {
 		s.hitLens = append(s.hitLens, h.SchedLen())
 	}
 	s.totalHits += len(hits)
+	if s.flt != nil && len(hits) > 0 {
+		s.flt.hadHits[hits[0].ReadIdx] = true
+	}
 	s.finishPush(u, hits)
 }
 
 // finishPush pushes hits into the Store Buffer, stalling the SU when
-// it fills (the paper's suspending state).
+// it fills (the paper's suspending state). Under an open backpressure
+// window the Coordinator sheds incoming hits explicitly instead of
+// corrupting the buffer.
 func (s *System) finishPush(u *su.Unit, hits []core.Hit) {
 	now := s.eng.Now()
 	for len(hits) > 0 {
+		if s.flt != nil && s.flt.inj.ShedNow(now, s.buffer.SBLen(), s.buffer.Depth()) {
+			s.flt.inj.Sum().Shed++
+			if o := s.opts.Obs; o != nil {
+				o.HitsShed(now, 1)
+			}
+			hits = hits[1:]
+			continue
+		}
 		if !s.buffer.Push(hits[0]) {
 			u.SetIdle(now) // suspended: not doing useful seeding work
 			s.blocked = append(s.blocked, blockedSU{unit: u, hits: hits, since: now})
@@ -176,7 +244,7 @@ func (s *System) suIdle(u *su.Unit) {
 // maybeSwitch performs a buffer switch when possible. Once the input
 // is exhausted the threshold is waived so the pipeline drains.
 func (s *System) maybeSwitch() {
-	force := s.nextRead >= len(s.reads)
+	force := s.inputDone()
 	if !s.buffer.TrySwitch(force) {
 		return
 	}
@@ -213,11 +281,18 @@ func (s *System) idleEUs() []coordinator.IdleUnit {
 
 // tryRoundIfTriggered consults the Allocate Trigger (paper: request a
 // round when >= 15% of EUs idle); in drain mode any idle unit
-// justifies a round.
+// justifies a round. Under faults the threshold is evaluated against
+// the surviving pool, so mass EU failure cannot starve the allocator.
 func (s *System) tryRoundIfTriggered() {
 	idle := len(s.idleEUs())
-	drain := s.nextRead >= len(s.reads)
-	if s.trigger.ShouldSchedule(idle) || (drain && idle > 0) {
+	drain := s.inputDone()
+	var fired bool
+	if s.flt != nil {
+		fired = s.trigger.ShouldScheduleOf(idle, s.flt.aliveEUs)
+	} else {
+		fired = s.trigger.ShouldSchedule(idle)
+	}
+	if fired || (drain && idle > 0) {
 		s.tryRound()
 	}
 }
@@ -262,8 +337,14 @@ func (s *System) tryRound() {
 	}
 	s.allocHits = allocHits
 	s.buffer.Commit(allocHits, un)
+	if s.flt != nil {
+		s.flt.inFlight += len(allocHits)
+	}
 	if o != nil {
 		o.Inv.CheckConservation(now, int64(s.buffer.SBLen()+s.buffer.PBRemaining()), "round")
+		if s.flt != nil {
+			o.Inv.CheckFaultLedger(now, int64(s.flt.retryPending), int64(s.flt.inFlight))
+		}
 	}
 	s.roundActive = true
 	// Reserve the assigned units for the duration of the round.
@@ -350,7 +431,10 @@ func (s *System) drain() {
 		pb, sb, bl, at := s.buffer.PBRemaining(), s.buffer.SBLen(), len(s.blocked), s.eng.Now()
 		s.maybeSwitch()
 		s.tryRound()
-		s.eng.Run()
+		s.runEngine()
+		if s.wdErr != nil {
+			return
+		}
 		if s.buffer.PBRemaining() == pb && s.buffer.SBLen() == sb &&
 			len(s.blocked) == bl && s.eng.Now() == at {
 			// No event moved anything: the window at the PB offset is
@@ -383,6 +467,13 @@ func (s *System) dispatch(a coordinator.Assignment) {
 		oriented = pipeline.Orient(s.reads[a.Hit.ReadIdx], a.Hit.Rev)
 	}
 	ext, done := u.Execute(now, oriented, a.Hit)
+	if s.flt != nil {
+		// Transient EU stall: the unit holds its result for the
+		// injected extra cycles.
+		if d := s.flt.inj.TakeEUStall(u.ID()); d > 0 {
+			done += d
+		}
+	}
 	s.eng.AtTask(done, s.getEUTask(u, ext))
 }
 
@@ -419,6 +510,21 @@ func (s *System) getEUTask(u *eu.Unit, ext core.Extension) *euTask {
 func (s *System) euDone(u *eu.Unit, ext core.Extension) {
 	now := s.eng.Now()
 	u.SetIdle(now)
+	if s.flt != nil {
+		s.flt.inFlight--
+		if s.flt.inj.EUFailed(u.ID()) {
+			// The unit failed while extending: discard its result, park
+			// it, and re-dispatch the hit with bounded retry (Hits
+			// Allocator degradation policy).
+			u.Stop()
+			s.requeueHit(u, ext.Hit)
+			s.tryRoundIfTriggered()
+			return
+		}
+	}
+	if o := s.opts.Obs; o != nil {
+		o.ExtensionCompleted()
+	}
 	r := &s.results[ext.ReadIdx]
 	if !r.Found || ext.Score > r.Score || (ext.Score == r.Score && ext.HitIdx < s.bestHit[ext.ReadIdx]) {
 		r.Found = true

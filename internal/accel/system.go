@@ -18,6 +18,7 @@ import (
 	"nvwa/internal/core"
 	"nvwa/internal/eu"
 	"nvwa/internal/extsched"
+	"nvwa/internal/fault"
 	"nvwa/internal/mem"
 	"nvwa/internal/obs"
 	"nvwa/internal/pipeline"
@@ -80,6 +81,19 @@ type Options struct {
 	// cost of one pointer test per hook. Observation never changes the
 	// simulation: Reports are byte-identical with Obs set or nil.
 	Obs *obs.Observer
+	// Faults optionally injects a deterministic fault plan: SU/EU
+	// transient stalls, permanent unit failures, memory-timeout
+	// windows, and buffer-pressure shedding, each absorbed by a
+	// graceful-degradation policy (see internal/fault and DESIGN.md
+	// "Fault model and degradation policies"). nil (the default)
+	// disables injection entirely: the run is byte-identical to a
+	// system built without the fault layer. The Report then carries a
+	// FaultSummary accounting for every injected fault.
+	Faults *fault.Plan
+	// Watchdog optionally bounds the run (cycle budget + no-progress
+	// detection), turning livelock or runaway degradation into a
+	// diagnosed error from RunChecked instead of a hang. nil disables.
+	Watchdog *sim.Watchdog
 }
 
 // NvWaOptions returns the full NvWa system (all three mechanisms on).
@@ -118,7 +132,9 @@ type System struct {
 	trigger *extsched.Trigger
 	prefet  *seedsched.ReadSPM
 	eng     sim.Engine
-	memo    *Memo // non-nil in replay mode
+	memo    *Memo       // non-nil in replay mode
+	flt     *faultState // non-nil when a fault plan is attached
+	wdErr   error       // latched watchdog diagnosis
 
 	reads []seq.Seq
 
@@ -154,6 +170,9 @@ func New(aligner *pipeline.Aligner, opts Options) (*System, error) {
 	if err := opts.Config.Validate(); err != nil {
 		return nil, err
 	}
+	if err := opts.Faults.Validate(); err != nil {
+		return nil, err
+	}
 	if opts.TraceBuckets <= 0 {
 		opts.TraceBuckets = 100
 	}
@@ -165,15 +184,20 @@ func New(aligner *pipeline.Aligner, opts Options) (*System, error) {
 		alloc:   newStatsAllocator(opts),
 		trigger: extsched.NewTrigger(opts.Config.TotalEUs(), opts.Config.IdleEUTrigger),
 	}
+	if opts.Faults != nil {
+		s.flt = newFaultState(opts.Faults, opts.Config)
+	}
 	s.prefet = seedsched.NewReadSPM(s.hbm, 512, 64, 32)
 	var front su.Seeding = aligner
 	if opts.Seeder != nil {
 		front = opts.Seeder
 	}
 	var ext eu.Extender = aligner
-	if opts.Memo.Replays(front) {
+	if opts.Memo.Replays(front) && opts.Memo.CoversPlan(opts.Faults.Hash()) {
 		// Replay mode: the units consume precomputed functional results
-		// and the event loop models only cycle costs.
+		// and the event loop models only cycle costs. The memo is keyed
+		// to a fault-plan hash as well as its front end, so a cache
+		// warmed fault-free can never serve a faulted configuration.
 		s.memo = opts.Memo
 		front = s.memo
 		ext = s.memo
@@ -204,6 +228,20 @@ func New(aligner *pipeline.Aligner, opts Options) (*System, error) {
 		}
 		for _, u := range s.eus {
 			u.AttachObs(o)
+		}
+	}
+	if s.flt != nil {
+		// Lazy fault arming: due events arm at the head of the engine's
+		// advance hook, before any same-cycle event body runs, so a
+		// fault at cycle c is visible to every decision taken at c.
+		// Wrapping preserves the observer's hook when both are set; the
+		// nil-plan path leaves OnAdvance untouched.
+		inner := s.eng.OnAdvance
+		s.eng.OnAdvance = func(now int64) {
+			s.flt.advance(now, s)
+			if inner != nil {
+				inner(now)
+			}
 		}
 	}
 	return s, nil

@@ -203,7 +203,19 @@ func NewTrigger(total int, threshold float64) *Trigger {
 
 // ShouldSchedule reports whether idle EUs justify a scheduling round.
 func (t *Trigger) ShouldSchedule(idle int) bool {
-	fired := float64(idle) >= t.threshold*float64(t.total) && idle > 0
+	return t.ShouldScheduleOf(idle, t.total)
+}
+
+// ShouldScheduleOf evaluates the trigger against an explicit pool
+// size instead of the configured total. The fault-degraded scheduler
+// consults it with the count of still-alive EUs, so the 15% idle
+// threshold keeps firing even after permanent EU failures shrink the
+// pool (a threshold anchored to the original total could starve the
+// allocator once most units are dead). A non-positive total degrades
+// to "any idle unit fires", which is the only liveness-safe answer
+// for an empty pool.
+func (t *Trigger) ShouldScheduleOf(idle, total int) bool {
+	fired := idle > 0 && (total <= 0 || float64(idle) >= t.threshold*float64(total))
 	if t.obs != nil {
 		t.obs.TriggerEval(idle, fired)
 	}

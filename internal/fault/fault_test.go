@@ -1,0 +1,339 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestKindStringRoundTrip(t *testing.T) {
+	t.Parallel()
+	for k := Kind(0); k < numKinds; k++ {
+		got, err := KindFromString(k.String())
+		if err != nil {
+			t.Fatalf("KindFromString(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("round trip %v -> %q -> %v", k, k.String(), got)
+		}
+	}
+	if _, err := KindFromString("nope"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestEventValidate(t *testing.T) {
+	t.Parallel()
+	good := []Event{
+		{Kind: SUStall, Cycle: 100, Unit: 3, Dur: 50},
+		{Kind: SUFail, Cycle: 0, Unit: 0},
+		{Kind: EUStall, Cycle: 1, Unit: 69, Dur: 1},
+		{Kind: EUFail, Cycle: 9, Unit: 12},
+		{Kind: MemTimeout, Cycle: 5, Unit: -1, Dur: 10},
+		{Kind: BufferPressure, Cycle: 7, Unit: -1, Dur: 3},
+	}
+	for _, ev := range good {
+		if err := ev.Validate(); err != nil {
+			t.Errorf("valid event %+v rejected: %v", ev, err)
+		}
+	}
+	bad := []Event{
+		{Kind: numKinds, Cycle: 1, Unit: -1, Dur: 1},
+		{Kind: SUStall, Cycle: -1, Unit: 0, Dur: 1},
+		{Kind: SUStall, Cycle: 1, Unit: -1, Dur: 1},   // unit-scoped without unit
+		{Kind: SUStall, Cycle: 1, Unit: 0, Dur: 0},    // stall without duration
+		{Kind: SUFail, Cycle: 1, Unit: 0, Dur: 5},     // failure with duration
+		{Kind: MemTimeout, Cycle: 1, Unit: 2, Dur: 5}, // window with unit
+		{Kind: MemTimeout, Cycle: 1, Unit: -1},        // window without duration
+	}
+	for _, ev := range bad {
+		if err := ev.Validate(); err == nil {
+			t.Errorf("invalid event %+v accepted", ev)
+		}
+	}
+}
+
+func TestPlanEncodeParseRoundTrip(t *testing.T) {
+	t.Parallel()
+	p := &Plan{Events: []Event{
+		{Kind: SUStall, Cycle: 100, Unit: 3, Dur: 50},
+		{Kind: EUFail, Cycle: 2000, Unit: 7},
+		{Kind: MemTimeout, Cycle: 1500, Unit: -1, Dur: 200},
+		{Kind: BufferPressure, Cycle: 3000, Unit: -1, Dur: 400},
+		{Kind: SUFail, Cycle: 10, Unit: 0},
+		{Kind: EUStall, Cycle: 10, Unit: 1, Dur: 8},
+	}}
+	enc := p.Encode()
+	want := "v1;su-stall@100#3+50;eu-fail@2000#7;mem-timeout@1500+200;pressure@3000+400;su-fail@10#0;eu-stall@10#1+8"
+	if enc != want {
+		t.Fatalf("Encode = %q, want %q", enc, want)
+	}
+	got, err := Parse(enc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestPlanEncodeEmpty(t *testing.T) {
+	t.Parallel()
+	var nilPlan *Plan
+	if got := nilPlan.Encode(); got != "v1" {
+		t.Fatalf("nil plan encodes %q", got)
+	}
+	p, err := Parse("v1")
+	if err != nil {
+		t.Fatalf("Parse(v1): %v", err)
+	}
+	if p.Len() != 0 {
+		t.Fatalf("empty plan has %d events", p.Len())
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	t.Parallel()
+	for _, s := range []string{
+		"",
+		"v2",
+		"v1;",
+		"v1;su-stall",
+		"v1;su-stall@",
+		"v1;su-stall@100",        // missing unit+dur
+		"v1;su-stall@100#3",      // missing dur
+		"v1;su-fail@100#3+5",     // failure with dur
+		"v1;mem-timeout@100#3+5", // window with unit
+		"v1;pressure@100",        // window without dur
+		"v1;bogus@100+5",         // unknown kind
+		"v1;su-stall@x#3+5",      // bad cycle
+		"v1;su-stall@100#y+5",    // bad unit
+		"v1;su-stall@100#3+z",    // bad dur
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+func TestHashOrderInsensitiveAndNilZero(t *testing.T) {
+	t.Parallel()
+	a := &Plan{Events: []Event{
+		{Kind: SUStall, Cycle: 100, Unit: 3, Dur: 50},
+		{Kind: EUFail, Cycle: 2000, Unit: 7},
+	}}
+	b := &Plan{Events: []Event{a.Events[1], a.Events[0]}}
+	if a.Hash() != b.Hash() {
+		t.Fatal("hash depends on event order")
+	}
+	if a.Hash() == 0 {
+		t.Fatal("non-empty plan hashes to 0")
+	}
+	c := &Plan{Events: []Event{{Kind: SUStall, Cycle: 101, Unit: 3, Dur: 50}}}
+	if a.Hash() == c.Hash() {
+		t.Fatal("distinct plans collide (cycle change unnoticed)")
+	}
+	var nilPlan *Plan
+	if nilPlan.Hash() != 0 || (&Plan{}).Hash() != 0 {
+		t.Fatal("nil/empty plan must hash to 0")
+	}
+}
+
+func TestSpecGenerateDeterministic(t *testing.T) {
+	t.Parallel()
+	spec := DefaultSpec(42)
+	p1 := spec.Generate(128, 70)
+	p2 := spec.Generate(128, 70)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("Generate is not deterministic for a fixed seed")
+	}
+	wantN := spec.SUStalls + spec.SUFails + spec.EUStalls + spec.EUFails + spec.MemTimeouts + spec.Pressures
+	if p1.Len() != wantN {
+		t.Fatalf("generated %d events, want %d", p1.Len(), wantN)
+	}
+	if err := p1.Validate(); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+	// Canonical order: cycles non-decreasing.
+	for i := 1; i < len(p1.Events); i++ {
+		if p1.Events[i].Cycle < p1.Events[i-1].Cycle {
+			t.Fatal("generated plan not canonicalized")
+		}
+	}
+	p3 := DefaultSpec(43).Generate(128, 70)
+	if reflect.DeepEqual(p1, p3) {
+		t.Fatal("different seeds produced identical plans")
+	}
+	// Round trip through the wire format.
+	back, err := Parse(p1.Encode())
+	if err != nil {
+		t.Fatalf("Parse(Encode(generated)): %v", err)
+	}
+	if !reflect.DeepEqual(back, p1) {
+		t.Fatal("generated plan does not round-trip")
+	}
+}
+
+func TestSpecStringParseRoundTrip(t *testing.T) {
+	t.Parallel()
+	spec := Spec{Seed: 7, Horizon: 5000, SUStalls: 2, EUFails: 3, MeanStall: 100, MeanWindow: 200}
+	got, err := ParseSpec(spec.String())
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", spec.String(), err)
+	}
+	if got != spec.withDefaults() {
+		t.Fatalf("spec round trip: got %+v want %+v", got, spec.withDefaults())
+	}
+	for _, s := range []string{"", "seed", "seed=x", "wat=1", "seed=-1"} {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", s)
+		}
+	}
+}
+
+func TestInjectorStallConsumeOnce(t *testing.T) {
+	t.Parallel()
+	p := &Plan{Events: []Event{
+		{Kind: SUStall, Cycle: 10, Unit: 2, Dur: 40},
+		{Kind: SUStall, Cycle: 12, Unit: 2, Dur: 60},
+		{Kind: EUStall, Cycle: 15, Unit: 5, Dur: 30},
+	}}
+	inj := NewInjector(p, 4, 8)
+	for i := range inj.Events() {
+		inj.Arm(i)
+	}
+	if d := inj.TakeSUStall(2); d != 100 {
+		t.Fatalf("TakeSUStall = %d, want accumulated 100", d)
+	}
+	if d := inj.TakeSUStall(2); d != 0 {
+		t.Fatalf("second TakeSUStall = %d, want 0", d)
+	}
+	if d := inj.TakeEUStall(5); d != 30 {
+		t.Fatalf("TakeEUStall = %d, want 30", d)
+	}
+	s := inj.Summary()
+	if s.Injected != 3 || s.Absorbed != 3 || s.Expired != 0 {
+		t.Fatalf("summary %+v, want 3 injected/absorbed", s)
+	}
+	if s.SUStallCycles != 100 || s.EUStallCycles != 30 {
+		t.Fatalf("stall cycles %d/%d, want 100/30", s.SUStallCycles, s.EUStallCycles)
+	}
+}
+
+func TestInjectorFailuresAndExpiry(t *testing.T) {
+	t.Parallel()
+	p := &Plan{Events: []Event{
+		{Kind: SUFail, Cycle: 5, Unit: 1},
+		{Kind: SUFail, Cycle: 6, Unit: 1},          // duplicate: expires
+		{Kind: SUStall, Cycle: 7, Unit: 1, Dur: 9}, // stall on failed unit: expires
+		{Kind: EUFail, Cycle: 5, Unit: 99},         // out of range: expires
+	}}
+	inj := NewInjector(p, 3, 4)
+	for i := range inj.Events() {
+		inj.Arm(i)
+	}
+	if !inj.SUFailed(1) || inj.SUFailed(0) {
+		t.Fatal("SUFailed wrong")
+	}
+	if inj.EUFailed(3) {
+		t.Fatal("out-of-range EU failure applied")
+	}
+	if d := inj.TakeSUStall(1); d != 0 {
+		t.Fatalf("stall on failed unit yielded %d", d)
+	}
+	s := inj.Summary()
+	if s.SUFailures != 1 || s.EUFailures != 0 {
+		t.Fatalf("failures %d/%d, want 1/0", s.SUFailures, s.EUFailures)
+	}
+	if s.Injected != 4 || s.Absorbed != 1 || s.Expired != 3 {
+		t.Fatalf("summary %+v, want injected=4 absorbed=1 expired=3", s)
+	}
+}
+
+func TestInjectorMemDelayWindows(t *testing.T) {
+	t.Parallel()
+	p := &Plan{Events: []Event{
+		{Kind: MemTimeout, Cycle: 100, Unit: -1, Dur: 50},  // [100,150)
+		{Kind: MemTimeout, Cycle: 120, Unit: -1, Dur: 100}, // [120,220)
+	}}
+	inj := NewInjector(p, 1, 1)
+	for i := range inj.Events() {
+		inj.Arm(i)
+	}
+	if d := inj.MemDelay(99); d != 0 {
+		t.Fatalf("before window: %d", d)
+	}
+	if d := inj.MemDelay(110); d != 40 {
+		t.Fatalf("inside first window: %d, want 40", d)
+	}
+	if d := inj.MemDelay(130); d != 90 {
+		t.Fatalf("overlap completes at later end: %d, want 90", d)
+	}
+	if d := inj.MemDelay(220); d != 0 {
+		t.Fatalf("window end exclusive: %d", d)
+	}
+	if s := inj.Summary(); s.MemDelayCycles != 130 {
+		t.Fatalf("MemDelayCycles = %d, want 130", s.MemDelayCycles)
+	}
+}
+
+func TestInjectorShedNow(t *testing.T) {
+	t.Parallel()
+	p := &Plan{Events: []Event{{Kind: BufferPressure, Cycle: 50, Unit: -1, Dur: 20}}}
+	inj := NewInjector(p, 1, 1)
+	inj.Arm(0)
+	if inj.ShedNow(40, 64, 64) {
+		t.Fatal("shed outside window")
+	}
+	if inj.ShedNow(55, 10, 64) {
+		t.Fatal("shed below half-full threshold")
+	}
+	if !inj.ShedNow(55, 32, 64) {
+		t.Fatal("no shed inside window at half-full")
+	}
+	if inj.ShedNow(70, 64, 64) {
+		t.Fatal("shed after window end")
+	}
+}
+
+func TestInjectorNilPlan(t *testing.T) {
+	t.Parallel()
+	inj := NewInjector(nil, 2, 2)
+	if len(inj.Events()) != 0 {
+		t.Fatal("nil plan has events")
+	}
+	if inj.SUFailed(0) || inj.EUFailed(1) || inj.TakeSUStall(0) != 0 || inj.MemDelay(10) != 0 {
+		t.Fatal("nil plan injects")
+	}
+	s := inj.Summary()
+	if s.Planned != 0 || s.Injected != 0 || s.PlanHash != 0 {
+		t.Fatalf("nil-plan summary %+v", s)
+	}
+}
+
+func TestDeadLetterCap(t *testing.T) {
+	t.Parallel()
+	inj := NewInjector(nil, 1, 1)
+	for i := 0; i < MaxDeadLetters+10; i++ {
+		inj.DeadLetter(DeadLetter{ReadIdx: i, Attempts: 5, Reason: "retry-exhausted"})
+	}
+	s := inj.Summary()
+	if s.DeadLettered != MaxDeadLetters+10 {
+		t.Fatalf("count %d, want exact %d", s.DeadLettered, MaxDeadLetters+10)
+	}
+	if len(s.DeadLetters) != MaxDeadLetters {
+		t.Fatalf("ledger detail %d, want capped %d", len(s.DeadLetters), MaxDeadLetters)
+	}
+}
+
+func TestParseRejectsEventOrderGarbage(t *testing.T) {
+	t.Parallel()
+	// '+' before '#' is tolerated only in the canonical order; a
+	// swapped order leaves '#' inside the dur field and must fail.
+	if _, err := Parse("v1;su-stall@100+50#3"); err == nil {
+		t.Fatal("swapped field order accepted")
+	}
+	if !strings.Contains((&Plan{Events: []Event{{Kind: SUStall, Cycle: 1, Unit: 2, Dur: 3}}}).Encode(), "#2+3") {
+		t.Fatal("encode field order changed")
+	}
+}

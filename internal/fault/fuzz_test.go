@@ -1,0 +1,44 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzFaultPlanRoundTrip asserts the fault-schedule wire format is a
+// total bijection on valid plans: any string Parse accepts must
+// re-encode to an equivalent string, re-parse to a deeply equal plan,
+// validate cleanly, and keep a stable hash.
+func FuzzFaultPlanRoundTrip(f *testing.F) {
+	f.Add("v1")
+	f.Add("v1;su-stall@100#3+50")
+	f.Add("v1;su-fail@10#0;eu-fail@2000#7")
+	f.Add("v1;mem-timeout@1500+200;pressure@3000+400")
+	f.Add("v1;eu-stall@1#69+1;su-stall@9223372036854775807#0+1")
+	f.Add("v1;su-stall@100+50#3")
+	f.Add("v2;su-stall@100#3+50")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return // invalid input: rejection is the contract
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("Parse accepted %q but Validate rejects: %v", s, verr)
+		}
+		enc := p.Encode()
+		p2, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("re-parse of Encode(%q) = %q failed: %v", s, enc, err)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("round trip changed plan:\n in %+v\nout %+v", p, p2)
+		}
+		if p.Hash() != p2.Hash() {
+			t.Fatalf("hash unstable across round trip for %q", enc)
+		}
+		if enc2 := p2.Encode(); enc2 != enc {
+			t.Fatalf("encode unstable: %q vs %q", enc, enc2)
+		}
+	})
+}

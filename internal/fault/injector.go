@@ -1,0 +1,246 @@
+package fault
+
+// DeadLetter records one hit abandoned after exhausting its retry
+// budget.
+type DeadLetter struct {
+	ReadIdx  int
+	HitIdx   int
+	Attempts int
+	Cycle    int64
+	Reason   string
+}
+
+// Summary is the fault accounting attached to a Report. Every
+// injected fault is either absorbed (it visibly touched the run) or
+// expired (it armed but had nothing to act on, e.g. a stall for an
+// already-failed unit); nothing is silently lost.
+type Summary struct {
+	// PlanHash identifies the plan (0 for an empty plan).
+	PlanHash uint64 `json:",omitempty"`
+	// Planned is the number of events in the plan; Injected is how
+	// many armed before the run ended; Absorbed armed and visibly
+	// affected the run; Expired = Injected - Absorbed.
+	Planned  int
+	Injected int
+	Absorbed int
+	Expired  int
+	// Permanent unit failures that took effect.
+	SUFailures int
+	EUFailures int
+	// Transient delay totals, in cycles.
+	SUStallCycles  int64
+	EUStallCycles  int64
+	MemDelayCycles int64
+	// Degradation accounting.
+	ReadsReseeded  int // reads re-dispatched after an SU failure
+	ReadsAbandoned int // reads with zero surviving results
+	Requeued       int // hits pulled back from failed EUs
+	Retried        int // re-dispatches that reached a healthy EU
+	DeadLettered   int // hits abandoned after the retry budget
+	Shed           int // hits dropped by backpressure shedding
+	// DeadLetters lists the first abandoned hits (capped).
+	DeadLetters []DeadLetter `json:",omitempty"`
+	// DegradedThroughputRPS is the achieved throughput under faults.
+	DegradedThroughputRPS float64 `json:",omitempty"`
+	// WatchdogErr is the diagnosed livelock/budget error, if any.
+	WatchdogErr string `json:",omitempty"`
+}
+
+// MaxDeadLetters caps the ledger detail kept in a Summary; the
+// DeadLettered count is always exact.
+const MaxDeadLetters = 64
+
+type window struct {
+	start, end int64 // [start, end)
+	idx        int   // event index, for touched-tracking
+}
+
+// Injector is the runtime state of one plan over one simulation. It
+// is pure bookkeeping: the accelerator calls Arm for due events (from
+// the engine's time-advance hook) and consults the Take*/Failed/
+// MemDelay/ShedNow queries at its decision points.
+type Injector struct {
+	events  []Event
+	armed   []bool
+	touched []bool
+
+	suFailed []bool
+	euFailed []bool
+
+	// Pending (not yet consumed) stall cycles per unit, plus the
+	// event indices contributing, so consumption can mark them
+	// absorbed.
+	suStall    []int64
+	euStall    []int64
+	suStallEvs [][]int
+	euStallEvs [][]int
+
+	memWins   []window
+	pressWins []window
+
+	sum Summary
+}
+
+// NewInjector binds a plan to a machine shape. A nil plan yields a
+// valid injector that injects nothing.
+func NewInjector(p *Plan, numSUs, numEUs int) *Injector {
+	inj := &Injector{
+		suFailed:   make([]bool, numSUs),
+		euFailed:   make([]bool, numEUs),
+		suStall:    make([]int64, numSUs),
+		euStall:    make([]int64, numEUs),
+		suStallEvs: make([][]int, numSUs),
+		euStallEvs: make([][]int, numEUs),
+	}
+	if p != nil {
+		inj.events = p.canonical()
+		inj.sum.PlanHash = p.Hash()
+	}
+	inj.armed = make([]bool, len(inj.events))
+	inj.touched = make([]bool, len(inj.events))
+	inj.sum.Planned = len(inj.events)
+	return inj
+}
+
+// Events returns the canonicalized schedule (sorted by cycle), so the
+// caller can lazily arm events as simulated time advances.
+func (in *Injector) Events() []Event { return in.events }
+
+// Arm activates event i at cycle now. Out-of-range unit targets arm
+// but can never be absorbed (they expire). Arming is idempotent.
+func (in *Injector) Arm(i int) {
+	if in.armed[i] {
+		return
+	}
+	in.armed[i] = true
+	ev := in.events[i]
+	switch ev.Kind {
+	case SUStall:
+		if ev.Unit < len(in.suStall) && !in.suFailed[ev.Unit] {
+			in.suStall[ev.Unit] += ev.Dur
+			in.suStallEvs[ev.Unit] = append(in.suStallEvs[ev.Unit], i)
+		}
+	case EUStall:
+		if ev.Unit < len(in.euStall) && !in.euFailed[ev.Unit] {
+			in.euStall[ev.Unit] += ev.Dur
+			in.euStallEvs[ev.Unit] = append(in.euStallEvs[ev.Unit], i)
+		}
+	case SUFail:
+		if ev.Unit < len(in.suFailed) && !in.suFailed[ev.Unit] {
+			in.suFailed[ev.Unit] = true
+			in.touched[i] = true
+			in.sum.SUFailures++
+		}
+	case EUFail:
+		if ev.Unit < len(in.euFailed) && !in.euFailed[ev.Unit] {
+			in.euFailed[ev.Unit] = true
+			in.touched[i] = true
+			in.sum.EUFailures++
+		}
+	case MemTimeout:
+		in.memWins = append(in.memWins, window{ev.Cycle, ev.Cycle + ev.Dur, i})
+	case BufferPressure:
+		in.pressWins = append(in.pressWins, window{ev.Cycle, ev.Cycle + ev.Dur, i})
+	}
+}
+
+// SUFailed reports whether seeding unit u has permanently failed.
+func (in *Injector) SUFailed(u int) bool { return u < len(in.suFailed) && in.suFailed[u] }
+
+// EUFailed reports whether extension unit u has permanently failed.
+func (in *Injector) EUFailed(u int) bool { return u < len(in.euFailed) && in.euFailed[u] }
+
+// TakeSUStall consumes and returns the pending stall cycles for
+// seeding unit u (0 if none).
+func (in *Injector) TakeSUStall(u int) int64 {
+	if u >= len(in.suStall) || in.suStall[u] == 0 {
+		return 0
+	}
+	d := in.suStall[u]
+	in.suStall[u] = 0
+	for _, i := range in.suStallEvs[u] {
+		in.touched[i] = true
+	}
+	in.suStallEvs[u] = in.suStallEvs[u][:0]
+	in.sum.SUStallCycles += d
+	return d
+}
+
+// TakeEUStall consumes and returns the pending stall cycles for
+// extension unit u (0 if none).
+func (in *Injector) TakeEUStall(u int) int64 {
+	if u >= len(in.euStall) || in.euStall[u] == 0 {
+		return 0
+	}
+	d := in.euStall[u]
+	in.euStall[u] = 0
+	for _, i := range in.euStallEvs[u] {
+		in.touched[i] = true
+	}
+	in.euStallEvs[u] = in.euStallEvs[u][:0]
+	in.sum.EUStallCycles += d
+	return d
+}
+
+// MemDelay returns the extra cycles a memory access starting at cycle
+// `at` suffers from open timeout windows: accesses inside a window
+// complete no earlier than the window's end.
+func (in *Injector) MemDelay(at int64) int64 {
+	var maxEnd int64
+	for _, w := range in.memWins {
+		if at >= w.start && at < w.end && w.end > maxEnd {
+			maxEnd = w.end
+			in.touched[w.idx] = true
+		}
+	}
+	if maxEnd == 0 {
+		return 0
+	}
+	d := maxEnd - at
+	in.sum.MemDelayCycles += d
+	return d
+}
+
+// ShedNow reports whether the Coordinator should shed an incoming hit
+// at cycle now: a pressure window is open and the staging buffer is
+// at least half full.
+func (in *Injector) ShedNow(now int64, sbLen, depth int) bool {
+	if sbLen < max(1, depth/2) {
+		return false
+	}
+	for _, w := range in.pressWins {
+		if now >= w.start && now < w.end {
+			in.touched[w.idx] = true
+			return true
+		}
+	}
+	return false
+}
+
+// Sum exposes the mutable summary for degradation-side accounting
+// (requeues, retries, dead letters, sheds, reseeded reads).
+func (in *Injector) Sum() *Summary { return &in.sum }
+
+// DeadLetter appends to the capped dead-letter ledger and bumps the
+// exact count.
+func (in *Injector) DeadLetter(d DeadLetter) {
+	in.sum.DeadLettered++
+	if len(in.sum.DeadLetters) < MaxDeadLetters {
+		in.sum.DeadLetters = append(in.sum.DeadLetters, d)
+	}
+}
+
+// Summary finalizes and returns the fault accounting.
+func (in *Injector) Summary() Summary {
+	s := in.sum
+	for i := range in.events {
+		if in.armed[i] {
+			s.Injected++
+			if in.touched[i] {
+				s.Absorbed++
+			}
+		}
+	}
+	s.Expired = s.Injected - s.Absorbed
+	return s
+}

@@ -26,6 +26,15 @@ type Invariants struct {
 	// hit-conservation ledger
 	pushed, assigned, dropped int64
 
+	// fault-extension ledger: the degraded-mode flows added by the
+	// fault-injection layer. All stay zero on fault-free runs, so the
+	// classic conservation equation is unchanged there.
+	completed    int64 // extensions that finished on a healthy EU
+	requeued     int64 // hits pulled back from a failed EU
+	retried      int64 // re-dispatches that reached a healthy EU
+	deadLettered int64 // hits abandoned after the retry budget
+	shed         int64 // hits shed by backpressure before entering the SB
+
 	lastNow  int64
 	checked  int64 // number of Check* calls, for test sanity
 	maxAccum int   // cap on stored violations (default 64)
@@ -100,6 +109,85 @@ func (v *Invariants) Dropped() int64 {
 		return 0
 	}
 	return v.dropped
+}
+
+// RecordCompleted accounts n extensions finishing on a healthy unit.
+func (v *Invariants) RecordCompleted(n int) {
+	if v != nil {
+		v.completed += int64(n)
+	}
+}
+
+// RecordRequeued accounts n in-flight hits pulled back from a failed
+// extension unit for re-dispatch.
+func (v *Invariants) RecordRequeued(n int) {
+	if v != nil {
+		v.requeued += int64(n)
+	}
+}
+
+// RecordRetried accounts n re-dispatches that reached a healthy unit.
+func (v *Invariants) RecordRetried(n int) {
+	if v != nil {
+		v.retried += int64(n)
+	}
+}
+
+// RecordDeadLettered accounts n hits abandoned to the dead-letter
+// ledger after exhausting their retry budget.
+func (v *Invariants) RecordDeadLettered(n int) {
+	if v != nil {
+		v.deadLettered += int64(n)
+	}
+}
+
+// RecordShed accounts n hits shed by backpressure before they entered
+// the Store Buffer. Shed hits never count as pushed; the extended
+// conservation equation closes over offered = pushed + shed.
+func (v *Invariants) RecordShed(n int) {
+	if v != nil {
+		v.shed += int64(n)
+	}
+}
+
+// Completed returns the extensions accounted as completed.
+func (v *Invariants) Completed() int64 {
+	if v == nil {
+		return 0
+	}
+	return v.completed
+}
+
+// Requeued returns the hits accounted as requeued off failed units.
+func (v *Invariants) Requeued() int64 {
+	if v == nil {
+		return 0
+	}
+	return v.requeued
+}
+
+// Retried returns the re-dispatches accounted as retried.
+func (v *Invariants) Retried() int64 {
+	if v == nil {
+		return 0
+	}
+	return v.retried
+}
+
+// DeadLettered returns the hits accounted as dead-lettered.
+func (v *Invariants) DeadLettered() int64 {
+	if v == nil {
+		return 0
+	}
+	return v.deadLettered
+}
+
+// Shed returns the hits accounted as shed by backpressure.
+func (v *Invariants) Shed() int64 {
+	if v == nil {
+		return 0
+	}
+	return v.shed
 }
 
 // CheckTime asserts the engine clock is monotone non-decreasing.
@@ -182,9 +270,40 @@ func (v *Invariants) CheckConservation(now int64, pending int64, context string)
 	}
 }
 
+// CheckFaultLedger asserts the degraded-mode accounting mid-run:
+// retryPending is the caller's count of hits requeued off failed
+// units but not yet re-dispatched or dead-lettered, and inFlight is
+// the caller's count of extensions currently executing on units. Both
+// must match the ledger residuals:
+//
+//	requeued - retried - deadLettered == retryPending
+//	assigned + retried - completed - requeued == inFlight
+func (v *Invariants) CheckFaultLedger(now int64, retryPending, inFlight int64) {
+	if v == nil {
+		return
+	}
+	v.checked++
+	if got := v.requeued - v.retried - v.deadLettered; got != retryPending {
+		v.violate("cycle %d: retry ledger broken: requeued %d - retried %d - deadLettered %d = %d, caller pending %d",
+			now, v.requeued, v.retried, v.deadLettered, got, retryPending)
+	}
+	if got := v.assigned + v.retried - v.completed - v.requeued; got != inFlight {
+		v.violate("cycle %d: in-flight ledger broken: assigned %d + retried %d - completed %d - requeued %d = %d, caller in-flight %d",
+			now, v.assigned, v.retried, v.completed, v.requeued, got, inFlight)
+	}
+}
+
 // CheckDrained asserts the end-of-run state: no hits pending anywhere,
 // so pushed == assigned + dropped. A stranded sub-threshold Store
 // Buffer fails here.
+//
+// When the fault-extension ledger was used (any of completed /
+// requeued / retried / deadLettered non-zero), it additionally closes
+// the extended conservation equation: every hit offered to the
+// Coordinator must terminate as completed, dead-lettered, dropped, or
+// shed — offered = pushed + shed and pushed == completed +
+// deadLettered + dropped — with zero retry-pending and in-flight
+// residuals.
 func (v *Invariants) CheckDrained(now int64, sbLen, pbRemaining, blocked int) {
 	if v == nil {
 		return
@@ -194,6 +313,13 @@ func (v *Invariants) CheckDrained(now int64, sbLen, pbRemaining, blocked int) {
 		v.violate("cycle %d: drain incomplete: SB=%d PB=%d blocked SUs=%d", now, sbLen, pbRemaining, blocked)
 	}
 	v.CheckConservation(now, int64(sbLen+pbRemaining), "drain")
+	if v.completed != 0 || v.requeued != 0 || v.retried != 0 || v.deadLettered != 0 {
+		v.CheckFaultLedger(now, 0, 0)
+		if v.completed+v.deadLettered+v.dropped != v.pushed {
+			v.violate("cycle %d: terminal conservation broken: pushed %d != completed %d + deadLettered %d + dropped %d (shed %d held out of SB)",
+				now, v.pushed, v.completed, v.deadLettered, v.dropped, v.shed)
+		}
+	}
 }
 
 // SnapshotWindow copies an allocation window so CheckWindowUnchanged

@@ -249,3 +249,89 @@ func (o *Observer) HitsDropped(now int64, n int, reason string) {
 		o.Trace.Instant(PidCoordinator, 1, "alloc", "drop "+reason, now, map[string]any{"hits": n})
 	}
 }
+
+// --- Fault injection & graceful degradation --------------------------
+
+// FaultArmed records one fault event arming (kind is the fault's
+// string name, unit -1 for window kinds).
+func (o *Observer) FaultArmed(now int64, kind string, unit int) {
+	if o == nil {
+		return
+	}
+	o.Metrics.Counter("fault.armed." + kind).Inc()
+	if o.Trace != nil {
+		o.Trace.Instant(PidCoordinator, 2, "fault", "arm "+kind, now, map[string]any{"unit": unit})
+	}
+}
+
+// HitsShed records n hits shed by backpressure before entering the
+// Store Buffer (explicit load shedding, not corruption).
+func (o *Observer) HitsShed(now int64, n int) {
+	if o == nil {
+		return
+	}
+	o.Metrics.Counter("fault.shed").Add(int64(n))
+	o.Inv.RecordShed(n)
+	if o.Trace != nil {
+		o.Trace.Instant(PidCoordinator, 2, "fault", "shed", now, map[string]any{"hits": n})
+	}
+}
+
+// HitRequeued records one in-flight hit pulled back from failed EU id
+// for re-dispatch.
+func (o *Observer) HitRequeued(now int64, euID int) {
+	if o == nil {
+		return
+	}
+	o.Metrics.Counter("fault.requeued").Inc()
+	o.Inv.RecordRequeued(1)
+	if o.Trace != nil {
+		o.Trace.Instant(PidCoordinator, 2, "fault", "requeue", now, map[string]any{"eu": euID})
+	}
+}
+
+// RetryDispatched records one requeued hit re-dispatched onto healthy
+// EU id.
+func (o *Observer) RetryDispatched(now int64, euID int) {
+	if o == nil {
+		return
+	}
+	o.Metrics.Counter("fault.retried").Inc()
+	o.Inv.RecordRetried(1)
+	if o.Trace != nil {
+		o.Trace.Instant(PidCoordinator, 2, "fault", "retry", now, map[string]any{"eu": euID})
+	}
+}
+
+// HitDeadLettered records one hit abandoned after attempts retries.
+func (o *Observer) HitDeadLettered(now int64, attempts int) {
+	if o == nil {
+		return
+	}
+	o.Metrics.Counter("fault.dead_lettered").Inc()
+	o.Inv.RecordDeadLettered(1)
+	if o.Trace != nil {
+		o.Trace.Instant(PidCoordinator, 2, "fault", "dead-letter", now, map[string]any{"attempts": attempts})
+	}
+}
+
+// ReadReseeded records read readIdx being re-dispatched after seeding
+// unit suID failed mid-task.
+func (o *Observer) ReadReseeded(now int64, suID, readIdx int) {
+	if o == nil {
+		return
+	}
+	o.Metrics.Counter("fault.reads_reseeded").Inc()
+	if o.Trace != nil {
+		o.Trace.Instant(PidCoordinator, 2, "fault", "reseed", now, map[string]any{"su": suID, "read": readIdx})
+	}
+}
+
+// ExtensionCompleted accounts one extension finishing on a healthy
+// unit — the terminal arm of the extended conservation ledger.
+func (o *Observer) ExtensionCompleted() {
+	if o == nil {
+		return
+	}
+	o.Inv.RecordCompleted(1)
+}

@@ -1,0 +1,69 @@
+package sim
+
+import "fmt"
+
+// Watchdog bounds a simulation run so that livelock and runaway
+// schedules surface as diagnosed errors instead of hangs. It is the
+// last line of defense under fault injection: degradation policies
+// are designed to always terminate, and the watchdog proves it per
+// run.
+type Watchdog struct {
+	// MaxCycles aborts the run before firing any event scheduled
+	// beyond this cycle. 0 disables the cycle budget.
+	MaxCycles int64
+	// MaxEventsPerCycle aborts when more than this many events fire
+	// at a single cycle without time advancing — a same-cycle
+	// rescheduling livelock. 0 uses DefaultMaxEventsPerCycle.
+	MaxEventsPerCycle int64
+	// MaxEvents aborts after this many total events. 0 disables.
+	MaxEvents int64
+}
+
+// DefaultMaxEventsPerCycle is the no-progress threshold used when
+// Watchdog.MaxEventsPerCycle is 0. It is far above anything a healthy
+// round can enqueue at one cycle (every SU + EU + round completion is
+// a few hundred events), yet cheap to hit for a genuine livelock.
+const DefaultMaxEventsPerCycle = 1 << 20
+
+// RunGuarded processes events like Run but under a watchdog. A nil
+// watchdog is exactly Run. On a tripped budget the engine stops with
+// events still queued and returns a diagnosed error alongside the
+// cycle it reached; the caller decides whether to salvage partial
+// state.
+func (e *Engine) RunGuarded(w *Watchdog) (int64, error) {
+	if w == nil {
+		return e.Run(), nil
+	}
+	perCycle := w.MaxEventsPerCycle
+	if perCycle <= 0 {
+		perCycle = DefaultMaxEventsPerCycle
+	}
+	var total, atCycle int64
+	cycle := int64(-1)
+	for len(e.events) > 0 {
+		next := e.events[0].at
+		if w.MaxCycles > 0 && next > w.MaxCycles {
+			return e.now, fmt.Errorf(
+				"sim: watchdog: cycle budget %d exceeded (next event at cycle %d, %d events pending)",
+				w.MaxCycles, next, len(e.events))
+		}
+		if next != cycle {
+			cycle = next
+			atCycle = 0
+		}
+		atCycle++
+		if atCycle > perCycle {
+			return e.now, fmt.Errorf(
+				"sim: watchdog: no progress: %d events fired at cycle %d without advancing time (livelock)",
+				atCycle, cycle)
+		}
+		total++
+		if w.MaxEvents > 0 && total > w.MaxEvents {
+			return e.now, fmt.Errorf(
+				"sim: watchdog: event budget %d exceeded at cycle %d (%d events pending)",
+				w.MaxEvents, cycle, len(e.events))
+		}
+		e.fire(e.events.pop())
+	}
+	return e.now, nil
+}

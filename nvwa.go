@@ -29,9 +29,11 @@ package nvwa
 import (
 	"nvwa/internal/accel"
 	"nvwa/internal/core"
+	"nvwa/internal/fault"
 	"nvwa/internal/genome"
 	"nvwa/internal/pipeline"
 	"nvwa/internal/seq"
+	"nvwa/internal/sim"
 )
 
 // Re-exported domain types.
@@ -61,6 +63,19 @@ type (
 	Config = core.Config
 	// EUClass describes one class of extension units.
 	EUClass = core.EUClass
+	// FaultPlan is a deterministic schedule of injected hardware
+	// faults; assign it to Options.Faults to run a degraded system.
+	FaultPlan = fault.Plan
+	// FaultEvent is one scheduled fault.
+	FaultEvent = fault.Event
+	// FaultSpec generates seeded random fault plans.
+	FaultSpec = fault.Spec
+	// FaultSummary is a Report's fault-injection accounting.
+	FaultSummary = fault.Summary
+	// Watchdog bounds a run (cycle budget + livelock detection);
+	// assign it to Options.Watchdog to diagnose hangs instead of
+	// waiting on them.
+	Watchdog = sim.Watchdog
 )
 
 // EncodeSequence converts an ASCII DNA string ("ACGT") to a Sequence.
@@ -122,6 +137,20 @@ func DerivedOptions(a *Aligner, sample []Sequence) (Options, error) {
 func NewAccelerator(a *Aligner, opts Options) (*Accelerator, error) {
 	return accel.New(a, opts)
 }
+
+// DefaultFaultSpec returns the mixed-fault template used by the chaos
+// harness: a handful of SU/EU stalls and failures, memory-timeout
+// windows, and one buffer-pressure window, all drawn from the seed.
+func DefaultFaultSpec(seed int64) FaultSpec { return fault.DefaultSpec(seed) }
+
+// ParseFaultPlan decodes an explicit fault schedule from its wire form
+// ("v1;kind@cycle[#unit][+dur],...").
+func ParseFaultPlan(s string) (*FaultPlan, error) { return fault.Parse(s) }
+
+// ParseFaultSpec decodes a fault-plan generator from "key=value,..."
+// form (keys: seed, horizon, su-stall, su-fail, eu-stall, eu-fail,
+// mem-timeout, pressure, mean-stall, mean-window).
+func ParseFaultSpec(s string) (FaultSpec, error) { return fault.ParseSpec(s) }
 
 // NewMinimizerSeeder builds the minimap2-style seed-and-chain front
 // end over the aligner's reference; assign it to Options.Seeder to run

@@ -2,9 +2,11 @@
 //
 // Usage:
 //
-//	nvwa-bench [-exp all|fig2|fig5|fig6|fig8|fig9|fig11|fig12|fig13a|fig13b|fig14|tab1|tab2|chaos]
+//	nvwa-bench [-exp all|fig2|fig5|fig6|fig8|fig9|fig11|fig12|fig13a|fig13b|fig14|tab1|tab2|chaos|scaleout]
 //	           [-reads N] [-reflen N] [-seed N] [-chaos-seeds N]
 //	           [-parallel] [-j N] [-json BENCH_parallel.json]
+//	           [-shards S] [-shard-policy contiguous|interleaved]
+//	           [-scaleout-json BENCH_scaleout.json] [-scaleout-check]
 //
 // Each experiment prints the rows or series of the corresponding paper
 // artifact; EXPERIMENTS.md records paper-versus-measured values.
@@ -32,6 +34,27 @@
 // checker attached. It is excluded from -exp all (it simulates
 // degraded hardware, not a paper figure); select it explicitly. The
 // bench exits 1 if any chaos run hangs past its budget or leaks a hit.
+// Combined with -shards, each chaos schedule is generated over the
+// aggregate S-chip machine and partitioned per shard.
+//
+// -shards S routes every Env-backed simulation through the sharded
+// scale-out engine (S independent chips over a partitioned read set,
+// Reports merged deterministically; see DESIGN.md "Scale-out
+// sharding"). -shard-policy picks contiguous (default) or interleaved
+// partitioning. The -json bench additionally re-chunks the fig11 and
+// fig14 jobs at S=4 on both the serial and parallel side, so their
+// single large simulations scale with -j while the byte-identity
+// check still compares like with like.
+//
+// -exp scaleout sweeps shard counts S ∈ {1,2,4,8,16} and prints
+// aggregate throughput and makespan versus S; it is excluded from
+// -exp all (scale-out across chips is beyond the paper's single-chip
+// scope). -scaleout-json FILE additionally times each shard count
+// serial versus parallel and writes the BENCH_scaleout.json artifact.
+// -scaleout-check runs the machine-independent scale-out guardrail
+// (merged makespan == max shard makespan, aggregate throughput grows
+// with S, zero allocations in the merge reduction hot path, optimized
+// merge == reference merge) and exits non-zero on violation.
 //
 // Exit codes: 0 success; 1 runtime failure (including a chaos
 // conservation violation or watchdog abort); 2 usage error (unknown
@@ -48,12 +71,13 @@ import (
 	"strings"
 	"time"
 
+	"nvwa/internal/accel"
 	"nvwa/internal/experiments"
 	"nvwa/internal/obs"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig2,fig5,fig6,fig8,fig9,fig11,fig12,fig13a,fig13b,fig14,tab1,tab2,seeding,intraunit,bands,frontend,chaos) or 'all' (chaos excluded)")
+	exp := flag.String("exp", "all", "experiment id (fig2,fig5,fig6,fig8,fig9,fig11,fig12,fig13a,fig13b,fig14,tab1,tab2,seeding,intraunit,bands,frontend,chaos,scaleout) or 'all' (chaos and scaleout excluded)")
 	chaosSeeds := flag.Int("chaos-seeds", 4, "number of seeded fault schedules per allocator strategy for -exp chaos")
 	reads := flag.Int("reads", 4000, "number of simulated reads for system experiments")
 	refLen := flag.Int("reflen", 200000, "synthetic reference length (bp)")
@@ -69,7 +93,23 @@ func main() {
 	kernelsOut := flag.String("kernels-out", "BENCH_kernels.json", "output file for -kernels")
 	kernelsCheck := flag.String("kernels-check", "", "re-measure the kernel suite and compare against this committed baseline instead of writing a file (implies -kernels)")
 	kernelsTol := flag.Float64("kernels-tol", 0.20, "with -kernels-check: allowed fractional drop in per-kernel speedup")
+	shards := flag.Int("shards", 1, "simulate S independent chips over a partitioned read set and merge Reports deterministically (1 = unsharded)")
+	shardPolicy := flag.String("shard-policy", "contiguous", "read partitioning policy for -shards: contiguous or interleaved")
+	scaleoutOut := flag.String("scaleout-json", "", "sweep shard counts serial vs parallel and write the BENCH_scaleout.json artifact to this file")
+	scaleoutCheck := flag.Bool("scaleout-check", false, "run the machine-independent scale-out guardrail and exit non-zero on violation")
 	flag.Parse()
+
+	pol, err := accel.ParseShardPolicy(*shardPolicy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nvwa-bench:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "nvwa-bench: -shards must be >= 1, got %d\n", *shards)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *kernels || *kernelsCheck != "" {
 		var err error
@@ -112,12 +152,15 @@ func main() {
 	if *parallel || *jobs > 1 {
 		runner = experiments.NewRunner(*jobs)
 	}
+	if *shards > 1 {
+		runner = runner.WithShards(*shards, pol)
+	}
 
 	known := map[string]bool{"all": true}
 	for _, id := range []string{
 		"fig2", "fig5", "fig6", "fig8", "fig9", "fig11", "fig12",
 		"fig13a", "fig13b", "fig14", "tab1", "tab2",
-		"seeding", "intraunit", "bands", "frontend", "chaos",
+		"seeding", "intraunit", "bands", "frontend", "chaos", "scaleout",
 	} {
 		known[id] = true
 	}
@@ -137,9 +180,12 @@ func main() {
 		os.Exit(2)
 	}
 	all := want["all"]
-	// The chaos harness simulates degraded hardware rather than a paper
-	// artifact, so "all" does not imply it; select it explicitly.
-	need := func(id string) bool { return (all && id != "chaos") || want[id] }
+	// The chaos harness simulates degraded hardware and the scale-out
+	// sweep simulates a multi-chip deployment — neither is a paper
+	// artifact, so "all" implies neither; select them explicitly.
+	need := func(id string) bool {
+		return (all && id != "chaos" && id != "scaleout") || want[id]
+	}
 
 	var env *experiments.Env
 	getEnv := func() *experiments.Env {
@@ -155,6 +201,20 @@ func main() {
 			n = 500
 		}
 		return n
+	}
+
+	if *scaleoutCheck {
+		if err := runScaleoutCheck(getEnv(), pol); err != nil {
+			fail(err)
+		}
+		fmt.Println("scaleout-check: ok")
+		return
+	}
+	if *scaleoutOut != "" {
+		if err := runScaleoutBench(*scaleoutOut, getEnv(), pol, *refLen, *seed, runner); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	if *jsonOut != "" {
@@ -254,6 +314,10 @@ func main() {
 		}
 		ran++
 	}
+	if need("scaleout") {
+		fmt.Println(experiments.Scaleout(getEnv(), nil, pol, runner).Format())
+		ran++
+	}
 	if need("tab1") {
 		fmt.Println(experiments.Table1(getEnv().NvWaOptions().Config))
 		ran++
@@ -298,8 +362,13 @@ func fail(err error) {
 
 // benchRow is one serial-versus-parallel timing comparison.
 type benchRow struct {
-	Experiment string  `json:"experiment"`
-	Workers    int     `json:"workers"`
+	Experiment string `json:"experiment"`
+	Workers    int    `json:"workers"`
+	// Shards is the sharded scale-out chunking applied to both sides of
+	// the comparison (0 = unsharded). Sharding lets a single large
+	// simulation — not just a fan of independent variants — scale with
+	// the worker count.
+	Shards     int     `json:"shards,omitempty"`
 	SerialMS   float64 `json:"serial_ms"`
 	ParallelMS float64 `json:"parallel_ms"`
 	Speedup    float64 `json:"speedup"`
@@ -318,9 +387,30 @@ type benchFile struct {
 }
 
 type benchHost struct {
+	// GOMAXPROCS is the effective worker parallelism at measurement
+	// time; NumCPU is the host's logical CPU count. When they differ,
+	// speedups must be read against GOMAXPROCS, not NumCPU.
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	NumCPU     int    `json:"numcpu"`
 	GoVersion  string `json:"go_version"`
+	// Note flags measurement conditions that bound the achievable
+	// speedup (e.g. a single-core host, where parallel ≈ serial by
+	// construction and speedup rows carry no signal).
+	Note string `json:"note,omitempty"`
+}
+
+// hostInfo captures the bench host honestly at measurement time.
+func hostInfo() benchHost {
+	h := benchHost{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
+	if h.NumCPU == 1 || h.GOMAXPROCS == 1 {
+		h.Note = "single-core host: parallel speedups are bounded at ~1.0x; " +
+			"re-run on a multi-core host for meaningful scaling rows"
+	}
+	return h
 }
 
 type benchWork struct {
@@ -338,27 +428,42 @@ func runParallelBench(path string, need func(string) bool, getEnv func() *experi
 	refLen, fig14Reads int, seed int64, runner *experiments.Runner) error {
 	const pinnedRPS = 1e6 // deterministic stand-in for the measured CPU baseline
 	if !runner.Parallel() {
-		runner = experiments.NewRunner(0)
+		runner = experiments.NewRunner(runtime.NumCPU())
 	}
 	par := runner.WithSoftwareRPS(pinnedRPS)
 	ser := experiments.Serial().WithSoftwareRPS(pinnedRPS)
 
+	// fig11 and fig14 are dominated by a handful of large simulations
+	// (six configs, four datasets), which caps their fan-out speedup.
+	// Re-chunk both sides of the comparison through the sharded
+	// scale-out engine at S=4 so each large simulation splits into four
+	// concurrently runnable shards; serial and parallel shard
+	// identically, so the byte-identity check still compares like with
+	// like (the merged Report is invariant to the worker count).
+	const benchShards = 4
+	ser4 := ser.WithShards(benchShards, accel.ShardContiguous)
+	par4 := par.WithShards(benchShards, accel.ShardContiguous)
+
 	type job struct {
-		id  string
-		run func(r *experiments.Runner) string
+		id       string
+		shards   int
+		ser, par *experiments.Runner
+		run      func(r *experiments.Runner) string
 	}
 	jobs := []job{
-		{"fig11", func(r *experiments.Runner) string { return experiments.Fig11With(getEnv(), r).Format() }},
-		{"fig13a", func(r *experiments.Runner) string {
+		{"fig11", benchShards, ser4, par4, func(r *experiments.Runner) string {
+			return experiments.Fig11With(getEnv(), r).Format()
+		}},
+		{"fig13a", 0, ser, par, func(r *experiments.Runner) string {
 			return experiments.FormatFig13a(experiments.Fig13aWith(getEnv(), nil, r))
 		}},
-		{"fig13b", func(r *experiments.Runner) string {
+		{"fig13b", 0, ser, par, func(r *experiments.Runner) string {
 			return experiments.FormatFig13b(experiments.Fig13bWith(getEnv(), nil, r))
 		}},
-		{"fig14", func(r *experiments.Runner) string {
+		{"fig14", benchShards, ser4, par4, func(r *experiments.Runner) string {
 			return experiments.FormatFig14(experiments.Fig14With(refLen, fig14Reads, seed, r))
 		}},
-		{"frontend", func(r *experiments.Runner) string {
+		{"frontend", 0, ser, par, func(r *experiments.Runner) string {
 			rows, err := experiments.FrontEndsWith(getEnv(), r)
 			if err != nil {
 				panic(err)
@@ -369,23 +474,24 @@ func runParallelBench(path string, need func(string) bool, getEnv func() *experi
 
 	out := benchFile{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		Host:        benchHost{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), GoVersion: runtime.Version()},
+		Host:        hostInfo(),
 		Workload:    benchWork{RefLen: refLen, Reads: len(getEnv().Reads), Fig14Reads: fig14Reads, Seed: seed},
 	}
-	fmt.Printf("%-10s %12s %12s %9s %s\n", "experiment", "serial(ms)", "parallel(ms)", "speedup", "identical")
+	fmt.Printf("%-10s %7s %12s %12s %9s %s\n", "experiment", "shards", "serial(ms)", "parallel(ms)", "speedup", "identical")
 	for _, j := range jobs {
 		if !need(j.id) {
 			continue
 		}
 		t0 := time.Now()
-		serOut := j.run(ser)
+		serOut := j.run(j.ser)
 		serialMS := float64(time.Since(t0).Microseconds()) / 1000
 		t1 := time.Now()
-		parOut := j.run(par)
+		parOut := j.run(j.par)
 		parallelMS := float64(time.Since(t1).Microseconds()) / 1000
 		row := benchRow{
 			Experiment:      j.id,
 			Workers:         par.Workers(),
+			Shards:          j.shards,
 			SerialMS:        serialMS,
 			ParallelMS:      parallelMS,
 			OutputIdentical: serOut == parOut,
@@ -394,8 +500,11 @@ func runParallelBench(path string, need func(string) bool, getEnv func() *experi
 			row.Speedup = serialMS / parallelMS
 		}
 		out.Rows = append(out.Rows, row)
-		fmt.Printf("%-10s %12.1f %12.1f %8.2fx %v\n",
-			row.Experiment, row.SerialMS, row.ParallelMS, row.Speedup, row.OutputIdentical)
+		fmt.Printf("%-10s %7d %12.1f %12.1f %8.2fx %v\n",
+			row.Experiment, row.Shards, row.SerialMS, row.ParallelMS, row.Speedup, row.OutputIdentical)
+	}
+	if out.Host.Note != "" {
+		fmt.Fprintln(os.Stderr, "note:", out.Host.Note)
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -1,0 +1,200 @@
+// Scale-out bench and guardrail for nvwa-bench: the BENCH_scaleout.json
+// artifact (-scaleout-json) and the machine-independent merge checks
+// (-scaleout-check).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"nvwa/internal/accel"
+	"nvwa/internal/experiments"
+)
+
+// scaleoutRow is one shard count of the BENCH_scaleout.json artifact:
+// the merged simulation outcome plus the serial-versus-parallel
+// wall-clock comparison for that shard count.
+type scaleoutRow struct {
+	Shards                int     `json:"shards"`
+	MakespanCycles        int64   `json:"makespan_cycles"`
+	MinShardCycles        int64   `json:"min_shard_cycles"`
+	MaxShardCycles        int64   `json:"max_shard_cycles"`
+	ThroughputReadsPerSec float64 `json:"throughput_reads_per_sec"`
+	SUUtil                float64 `json:"su_util"`
+	EUUtil                float64 `json:"eu_util"`
+	SerialMS              float64 `json:"serial_ms"`
+	ParallelMS            float64 `json:"parallel_ms"`
+	Speedup               float64 `json:"speedup"`
+	// Identical is the determinism check: the serial and parallel sweeps
+	// of this shard count must produce equal result rows.
+	Identical bool `json:"identical"`
+}
+
+// scaleoutFile is the BENCH_scaleout.json schema.
+type scaleoutFile struct {
+	GeneratedAt string        `json:"generated_at"`
+	Host        benchHost     `json:"host"`
+	Workload    benchWork     `json:"workload"`
+	Policy      string        `json:"policy"`
+	Workers     int           `json:"workers"`
+	Rows        []scaleoutRow `json:"rows"`
+}
+
+// runScaleoutBench sweeps the scale-out shard counts, timing each under
+// the serial and parallel policies, and writes the JSON artifact. The
+// merged simulation outcome is deterministic (identical between the
+// two runs — checked per row); only the wall-clock columns vary by
+// host.
+func runScaleoutBench(path string, env *experiments.Env, pol accel.ShardPolicy,
+	refLen int, seed int64, runner *experiments.Runner) error {
+	if !runner.Parallel() {
+		runner = experiments.NewRunner(runtime.NumCPU())
+	}
+	ser := experiments.Serial()
+	par := runner
+
+	out := scaleoutFile{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Host:        hostInfo(),
+		Workload:    benchWork{RefLen: refLen, Reads: len(env.Reads), Seed: seed},
+		Policy:      pol.String(),
+		Workers:     par.Workers(),
+	}
+	fmt.Printf("%-6s %10s %12s %7s %7s %12s %12s %9s %s\n",
+		"shards", "makespan", "reads/s", "su-util", "eu-util",
+		"serial(ms)", "parallel(ms)", "speedup", "identical")
+	for _, s := range experiments.DefaultScaleoutCounts {
+		counts := []int{s}
+		t0 := time.Now()
+		serRes := experiments.Scaleout(env, counts, pol, ser)
+		serialMS := float64(time.Since(t0).Microseconds()) / 1000
+		t1 := time.Now()
+		parRes := experiments.Scaleout(env, counts, pol, par)
+		parallelMS := float64(time.Since(t1).Microseconds()) / 1000
+
+		r := parRes.Rows[0]
+		row := scaleoutRow{
+			Shards:                r.Shards,
+			MakespanCycles:        r.Cycles,
+			MinShardCycles:        r.MinShardCycles,
+			MaxShardCycles:        r.MaxShardCycles,
+			ThroughputReadsPerSec: r.ThroughputReadsPerSec,
+			SUUtil:                r.SUUtil,
+			EUUtil:                r.EUUtil,
+			SerialMS:              serialMS,
+			ParallelMS:            parallelMS,
+			Identical:             reflect.DeepEqual(serRes, parRes),
+		}
+		if parallelMS > 0 {
+			row.Speedup = serialMS / parallelMS
+		}
+		out.Rows = append(out.Rows, row)
+		fmt.Printf("%-6d %10d %12.0f %7.3f %7.3f %12.1f %12.1f %8.2fx %v\n",
+			row.Shards, row.MakespanCycles, row.ThroughputReadsPerSec,
+			row.SUUtil, row.EUUtil, row.SerialMS, row.ParallelMS,
+			row.Speedup, row.Identical)
+	}
+	for _, row := range out.Rows {
+		if !row.Identical {
+			return fmt.Errorf("scaleout bench: S=%d serial and parallel sweeps diverged", row.Shards)
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d shard counts, j=%d, %s)\n",
+		path, len(out.Rows), par.Workers(), out.Policy)
+	if out.Host.Note != "" {
+		fmt.Fprintln(os.Stderr, "note:", out.Host.Note)
+	}
+	return nil
+}
+
+// runScaleoutCheck is the machine-independent scale-out guardrail run
+// by CI's perf-smoke job. It asserts, on the caller's workload:
+//
+//  1. the S=4 merged makespan equals the max shard makespan (the merge
+//     models S concurrent chips, not a serialized sequence);
+//  2. aggregate simulated throughput at S=4 exceeds the S=1 baseline
+//     (scale-out must pay for itself in the simulated metric);
+//  3. the MergeAcc reduction hot path (Reset + Add per shard report)
+//     performs zero heap allocations in steady state; and
+//  4. the optimized merge reproduces the reference merge exactly.
+//
+// Every assertion is about simulated cycles or allocation counts, so
+// the check is stable on any host, including single-core CI runners.
+func runScaleoutCheck(env *experiments.Env, pol accel.ShardPolicy) error {
+	o := env.NvWaOptions()
+	run := func(shards int) (*accel.Report, []*accel.Report, error) {
+		sys, err := accel.NewSharded(env.Aligner, accel.ShardedOptions{
+			Options: o, Shards: shards, Policy: pol, Workers: runtime.NumCPU(),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return sys.RunDetailed(env.Reads)
+	}
+
+	base, _, err := run(1)
+	if err != nil {
+		return fmt.Errorf("scaleout-check: S=1: %w", err)
+	}
+	merged, parts, err := run(4)
+	if err != nil {
+		return fmt.Errorf("scaleout-check: S=4: %w", err)
+	}
+
+	// 1. Makespan semantics: merged makespan == max shard makespan.
+	var maxShard int64
+	for _, p := range parts {
+		if p.Cycles > maxShard {
+			maxShard = p.Cycles
+		}
+	}
+	if merged.Cycles != maxShard {
+		return fmt.Errorf("scaleout-check: merged makespan %d != max shard makespan %d",
+			merged.Cycles, maxShard)
+	}
+
+	// 2. Aggregate throughput grows with S.
+	if merged.ThroughputReadsPerSec <= base.ThroughputReadsPerSec {
+		return fmt.Errorf("scaleout-check: S=4 throughput %.0f <= S=1 throughput %.0f",
+			merged.ThroughputReadsPerSec, base.ThroughputReadsPerSec)
+	}
+
+	// 3. Zero allocations in the merge reduction hot path. Warm the
+	// accumulator once so its retained scratch reaches steady-state
+	// capacity, then measure Reset+Add over the shard reports.
+	acc := accel.NewMergeAcc()
+	acc.Reset()
+	for _, p := range parts {
+		acc.Add(p)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		acc.Reset()
+		for _, p := range parts {
+			acc.Add(p)
+		}
+	})
+	if allocs != 0 {
+		return fmt.Errorf("scaleout-check: merge hot path allocates (%.1f allocs/op, want 0)", allocs)
+	}
+
+	// 4. Optimized merge == reference merge, field for field.
+	got := acc.Merged(o.Config.ClockGHz)
+	want := accel.MergeReportsReference(parts, o.Config.ClockGHz)
+	if !reflect.DeepEqual(got, want) {
+		return fmt.Errorf("scaleout-check: MergeAcc result diverges from reference merge")
+	}
+	return nil
+}

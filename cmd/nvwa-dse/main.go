@@ -7,10 +7,16 @@
 //	nvwa-dse [-reads N] [-reflen N] [-seed N]
 //	         [-depths 64,256,1024,4096] [-intervals 1,2,4,8]
 //	         [-parallel] [-j N]
+//	         [-shards S] [-shard-policy contiguous|interleaved]
 //
 // -parallel (or -j > 1) fans the independent design points across a
 // worker pool backed by the shared functional memo cache; the CSV is
 // byte-identical to the serial sweep.
+//
+// -shards S routes every design-point simulation through the sharded
+// scale-out engine (S chips over a partitioned read set, reports
+// merged deterministically), so each point additionally scales with
+// the worker pool. The CSV then describes the merged S-chip machine.
 //
 // Exit codes: 0 success; 2 usage error (unknown flag, malformed or
 // non-positive sweep values).
@@ -23,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 
+	"nvwa/internal/accel"
 	"nvwa/internal/energy"
 	"nvwa/internal/experiments"
 )
@@ -35,6 +42,8 @@ func main() {
 	intervals := flag.String("intervals", "1,2,4,8", "interval counts to sweep")
 	parallel := flag.Bool("parallel", false, "fan independent design points across a worker pool")
 	jobs := flag.Int("j", 0, "worker count for -parallel (0 = GOMAXPROCS; >1 implies -parallel)")
+	shards := flag.Int("shards", 1, "simulate S independent chips per design point and merge reports (1 = unsharded)")
+	shardPolicy := flag.String("shard-policy", "contiguous", "read partitioning policy for -shards: contiguous or interleaved")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -54,6 +63,16 @@ func main() {
 	runner := experiments.Serial()
 	if *parallel || *jobs > 1 {
 		runner = experiments.NewRunner(*jobs)
+	}
+	if *shards < 1 {
+		fail(fmt.Errorf("nvwa-dse: -shards must be >= 1, got %d", *shards))
+	}
+	pol, err := accel.ParseShardPolicy(*shardPolicy)
+	if err != nil {
+		fail(fmt.Errorf("nvwa-dse: %w", err))
+	}
+	if *shards > 1 {
+		runner = runner.WithShards(*shards, pol)
 	}
 
 	fmt.Fprintf(os.Stderr, "building workload: %d bp, %d reads (%s)...\n", *refLen, *reads, runner)

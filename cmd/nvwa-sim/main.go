@@ -8,9 +8,20 @@
 //	         [-sus N] [-buffer N] [-seeding one-cycle|batch]
 //	         [-alloc grouped|exclusive|shared|fifo]
 //	         [-pool derived|table1|uniform]
+//	         [-shards S] [-shard-policy contiguous|interleaved]
 //	         [-faults SPEC] [-watchdog N]
 //	         [-trace FILE] [-metrics FILE]
 //	         [-cpuprofile FILE] [-memprofile FILE]
+//
+// -shards S simulates S independent chips over a partitioned read set
+// (scale-out) and reports the deterministically merged outcome:
+// makespan is the max shard makespan, throughput is the aggregate,
+// utilizations are capacity-weighted means, and ledgers are sums.
+// -shard-policy picks contiguous (default) or interleaved
+// partitioning. S=1 is byte-identical to the unsharded simulator.
+// With -faults, the schedule is interpreted over the aggregate machine
+// (S×sus seeding units, S×EUs extension units) and partitioned per
+// shard with unit-id remapping.
 //
 // -trace writes a Chrome trace_event timeline of the run (open in
 // Perfetto or chrome://tracing; 1 simulated cycle = 1 µs). -metrics
@@ -57,7 +68,9 @@ func main() {
 	alloc := flag.String("alloc", "grouped", "hits allocator: grouped, exclusive, shared, fifo")
 	pool := flag.String("pool", "derived", "EU pool: derived (Eq. 5 from workload), table1, uniform")
 	frontend := flag.String("frontend", "fm", "seeding front end: fm (BWA-MEM three-pass) or minimizer")
-	faultsSpec := flag.String("faults", "", "fault schedule: wire form (\"v1;...\") or generator spec (\"seed=7,eu-fail=2\")")
+	shards := flag.Int("shards", 1, "simulate S independent chips over a partitioned read set and merge reports (1 = unsharded)")
+	shardPolicy := flag.String("shard-policy", "contiguous", "read partitioning policy for -shards: contiguous or interleaved")
+	faultsSpec := flag.String("faults", "", "fault schedule: wire form (\"v1;...\") or generator spec (\"seed=7,eu-fail=2\"); with -shards, interpreted over the aggregate machine")
 	watchdog := flag.Int64("watchdog", 0, "abort the run after N cycles with a livelock diagnosis (0 = off)")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON instead of text")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event timeline of the run to FILE")
@@ -79,6 +92,13 @@ func main() {
 	}
 	if *watchdog < 0 {
 		usage(fmt.Errorf("-watchdog must be >= 0, got %d", *watchdog))
+	}
+	if *shards < 1 {
+		usage(fmt.Errorf("-shards must be >= 1, got %d", *shards))
+	}
+	pol, err := nvwa.ParseShardPolicy(*shardPolicy)
+	if err != nil {
+		usage(err)
 	}
 
 	if *cpuprofile != "" {
@@ -148,7 +168,9 @@ func main() {
 	}
 
 	if *faultsSpec != "" {
-		plan, err := parseFaults(*faultsSpec, opts.Config.NumSUs, opts.Config.TotalEUs())
+		// With -shards the schedule spans the aggregate machine; the
+		// sharded engine partitions it per shard with unit remapping.
+		plan, err := parseFaults(*faultsSpec, opts.Config.NumSUs**shards, opts.Config.TotalEUs()**shards)
 		if err != nil {
 			usage(err)
 		}
@@ -164,7 +186,12 @@ func main() {
 		opts.Obs = ob
 	}
 
-	acc, err := nvwa.NewAccelerator(aligner, opts)
+	// The sharded constructor delegates to the plain accelerator when
+	// shards <= 1, so this single path is byte-identical to the
+	// unsharded simulator at -shards 1.
+	acc, err := nvwa.NewShardedAccelerator(aligner, nvwa.ShardedOptions{
+		Options: opts, Shards: *shards, Policy: pol,
+	})
 	if err != nil {
 		fail(err)
 	}

@@ -46,6 +46,20 @@ type Memo struct {
 	// configuration — degraded runs must recompute through the live
 	// path rather than inherit fault-free results.
 	planHash uint64
+	// shards caches derived per-shard views, keyed on (policy, shard
+	// count). Behind a pointer so Memo stays shallow-copyable.
+	shards *memoShardCache
+}
+
+// memoShardCache memoizes ShardViews results across runs.
+type memoShardCache struct {
+	mu    sync.Mutex
+	views map[shardViewKey][]*Memo
+}
+
+type shardViewKey struct {
+	pol ShardPolicy
+	s   int
 }
 
 // extender is eu.Extender, redeclared locally to avoid an import cycle
@@ -78,7 +92,10 @@ func BuildMemo(aligner *pipeline.Aligner, front su.Seeding, reads []seq.Seq, wor
 	if front != nil {
 		f = front
 	}
-	m := &Memo{front: f, ext: aligner, reads: reads, per: make([]memoRead, len(reads))}
+	m := &Memo{
+		front: f, ext: aligner, reads: reads, per: make([]memoRead, len(reads)),
+		shards: &memoShardCache{views: map[shardViewKey][]*Memo{}},
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -186,6 +203,59 @@ func (m *Memo) ExtendHitCost(oriented seq.Seq, h core.Hit) (core.Extension, pipe
 
 // Options implements eu.Extender.
 func (m *Memo) Options() pipeline.Options { return m.ext.Options() }
+
+// ShardViews derives one replay cache per shard of the memoized
+// workload under (pol, s): view i holds shard i's reads re-indexed to
+// the shard-local space, with every cached hit's and extension's
+// ReadIdx remapped accordingly, so a shard System replays exactly as
+// an unsharded System replays the full cache. Views share the parent's
+// immutable per-read payloads (hits are copied for the remap; stats,
+// reverse complements, and extension results alias the parent) and are
+// memoized per (pol, s), so repeated sharded runs over one memo pay
+// the derivation once. The returned views carry the parent's plan
+// keying; callers re-key shallow copies per shard plan.
+//
+// Concurrency: safe for concurrent use after BuildMemo, like every
+// other Memo method. nil for s <= 1 or a memo not built by BuildMemo.
+func (m *Memo) ShardViews(pol ShardPolicy, s int) []*Memo {
+	if m == nil || m.shards == nil || s <= 1 {
+		return nil
+	}
+	m.shards.mu.Lock()
+	defer m.shards.mu.Unlock()
+	key := shardViewKey{pol: pol, s: s}
+	if v, ok := m.shards.views[key]; ok {
+		return v
+	}
+	parts := PartitionReads(len(m.reads), s, pol)
+	views := make([]*Memo, s)
+	for i, part := range parts {
+		v := &Memo{
+			front: m.front, ext: m.ext, planHash: m.planHash,
+			reads: make([]seq.Seq, len(part)),
+			per:   make([]memoRead, len(part)),
+		}
+		for li, gi := range part {
+			v.reads[li] = m.reads[gi]
+			pr := m.per[gi]
+			lr := memoRead{stats: pr.stats, rc: pr.rc}
+			lr.hits = make([]core.Hit, len(pr.hits))
+			for k, h := range pr.hits {
+				h.ReadIdx = li
+				lr.hits[k] = h
+			}
+			lr.exts = make([]memoExt, len(pr.exts))
+			for k, e := range pr.exts {
+				e.ext.ReadIdx = li
+				lr.exts[k] = e
+			}
+			v.per[li] = lr
+		}
+		views[i] = v
+	}
+	m.shards.views[key] = views
+	return views
+}
 
 // Oriented returns the read view a hit's coordinates refer to, serving
 // the cached reverse complement instead of reallocating one per

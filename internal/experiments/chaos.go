@@ -141,13 +141,18 @@ func Chaos(env *Env, cfg ChaosConfig, r *Runner) ChaosResult {
 		si, ki := i/cfg.Seeds, i%cfg.Seeds
 		spec := cfg.Template
 		spec.Seed = cfg.Template.Seed + int64(ki)
-		res.Rows[i] = chaosRun(env, cfg.Strategies[si], spec, baselines[si], cfg.BudgetFactor)
+		res.Rows[i] = chaosRun(env, cfg.Strategies[si], spec, baselines[si], cfg.BudgetFactor, r)
 	})
 	return res
 }
 
-// chaosRun executes one seeded degraded run and audits it.
-func chaosRun(env *Env, strat coordinator.Strategy, spec fault.Spec, baseline, factor int64) ChaosRow {
+// chaosRun executes one seeded degraded run and audits it. Under a
+// sharded runner the fault schedule is generated over the aggregate
+// machine shape (S×NumSUs, S×TotalEUs) and partitioned per shard with
+// unit-id remapping inside the scale-out engine, so chaos sweeps
+// compose with sharding; the merged fault ledger is audited with the
+// same terminal-conservation check.
+func chaosRun(env *Env, strat coordinator.Strategy, spec fault.Spec, baseline, factor int64, r *Runner) ChaosRow {
 	o := env.NvWaOptions()
 	o.AllocStrategy = strat
 	if spec.Horizon <= 0 {
@@ -156,7 +161,8 @@ func chaosRun(env *Env, strat coordinator.Strategy, spec fault.Spec, baseline, f
 		// after it.
 		spec.Horizon = max(baseline, 1000)
 	}
-	plan := spec.Generate(o.Config.NumSUs, o.Config.TotalEUs())
+	shards := r.Shards()
+	plan := spec.Generate(o.Config.NumSUs*shards, o.Config.TotalEUs()*shards)
 	budget := baseline * factor
 	if budget < 1_000_000 {
 		budget = 1_000_000
@@ -173,7 +179,12 @@ func chaosRun(env *Env, strat coordinator.Strategy, spec fault.Spec, baseline, f
 		BaselineCycles: baseline,
 		Budget:         budget,
 	}
-	sys, err := accel.New(env.Aligner, o)
+	// Rows already fan across the runner's worker pool, so each row's
+	// shards run on a single worker; the merged Report is invariant to
+	// that choice.
+	sys, err := accel.NewSharded(env.Aligner, accel.ShardedOptions{
+		Options: o, Shards: shards, Policy: r.ShardPolicy(), Workers: 1,
+	})
 	if err != nil {
 		row.RunErr = err.Error()
 		return row

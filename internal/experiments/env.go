@@ -137,12 +137,48 @@ func (e *Env) Memo() *accel.Memo {
 
 // runWith simulates one configuration under the runner's policy:
 // memo-replay runs attach the shared cache, the serial policy runs the
-// unmodified path. Both produce byte-identical Reports.
+// unmodified path, and a sharded policy (Runner.WithShards) routes the
+// whole simulation through the scale-out engine. Memo replay and the
+// unsharded serial path produce byte-identical Reports; sharded runs
+// produce the deterministic merged Report, invariant to worker count.
 func (e *Env) runWith(o accel.Options, r *Runner) *accel.Report {
 	if r.UseMemo() && o.Seeder == nil {
 		o.Memo = e.Memo()
 	}
+	if r.Shards() > 1 {
+		return e.runSharded(o, r)
+	}
 	return e.run(o)
+}
+
+// runSharded simulates one configuration on the sharded scale-out
+// engine, carrying the same under-test invariant checking as run: the
+// per-shard checkers merge into the parent and the cross-shard
+// conservation equation is closed after the merge.
+func (e *Env) runSharded(o accel.Options, r *Runner) *accel.Report {
+	var inv *obs.Invariants
+	if o.Obs == nil && testing.Testing() {
+		ob := obs.NewInvariantsOnly()
+		o.Obs = ob
+		inv = ob.Inv
+	}
+	so := accel.ShardedOptions{
+		Options: o,
+		Shards:  r.Shards(),
+		Policy:  r.ShardPolicy(),
+		Workers: r.Workers(),
+	}
+	sys, err := accel.NewSharded(e.Aligner, so)
+	if err != nil {
+		panic(err) // options are constructed internally; invalid means a bug
+	}
+	rep := sys.Run(e.Reads)
+	if inv != nil {
+		if err := inv.Err(); err != nil {
+			panic(fmt.Sprintf("experiments: scheduler invariant violated (%s): %v", sys.Describe(), err))
+		}
+	}
+	return rep
 }
 
 // softwareRPS returns the software-pipeline throughput under the

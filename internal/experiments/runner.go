@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"nvwa/internal/accel"
 )
 
 // Runner is the experiment-execution policy: how many workers fan the
@@ -25,6 +27,8 @@ type Runner struct {
 	workers int
 	memo    bool
 	swRPS   float64
+	shards  int
+	policy  accel.ShardPolicy
 }
 
 // Serial returns the bisection-friendly reference policy: one worker,
@@ -59,6 +63,36 @@ func (r *Runner) WithSoftwareRPS(rps float64) *Runner {
 	return &c
 }
 
+// WithShards routes every Env-backed simulation through the sharded
+// scale-out engine: the read set is partitioned into s shards under
+// pol and simulated as s independent chips on the runner's worker
+// pool, with Reports merged deterministically (see accel.ShardedSystem
+// for the merge semantics). s <= 1 restores the unsharded path. This
+// is what lets a single large simulation — not just a fan of variants
+// — scale with the worker count.
+func (r *Runner) WithShards(s int, pol accel.ShardPolicy) *Runner {
+	c := *r
+	c.shards = s
+	c.policy = pol
+	return &c
+}
+
+// Shards returns the configured shard count (1 = unsharded).
+func (r *Runner) Shards() int {
+	if r == nil || r.shards < 1 {
+		return 1
+	}
+	return r.shards
+}
+
+// ShardPolicy returns the configured read-partitioning policy.
+func (r *Runner) ShardPolicy() accel.ShardPolicy {
+	if r == nil {
+		return accel.ShardContiguous
+	}
+	return r.policy
+}
+
 // Workers returns the worker-pool size.
 func (r *Runner) Workers() int {
 	if r == nil || r.workers <= 0 {
@@ -75,14 +109,20 @@ func (r *Runner) UseMemo() bool { return r != nil && r.memo }
 
 // String names the policy for logs and bench rows.
 func (r *Runner) String() string {
+	var s string
 	if !r.Parallel() {
-		return "serial"
+		s = "serial"
+	} else {
+		memo := "memo"
+		if !r.UseMemo() {
+			memo = "no-memo"
+		}
+		s = fmt.Sprintf("parallel(j=%d,%s)", r.Workers(), memo)
 	}
-	memo := "memo"
-	if !r.UseMemo() {
-		memo = "no-memo"
+	if r.Shards() > 1 {
+		s += fmt.Sprintf(",shards=%d(%s)", r.Shards(), r.ShardPolicy())
 	}
-	return fmt.Sprintf("parallel(j=%d,%s)", r.Workers(), memo)
+	return s
 }
 
 // Map runs fn(0..n-1) on the worker pool and returns when all calls

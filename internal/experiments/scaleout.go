@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"nvwa/internal/accel"
+	"nvwa/internal/obs"
+)
+
+// DefaultScaleoutCounts is the shard sweep of the scale-out artifact.
+var DefaultScaleoutCounts = []int{1, 2, 4, 8, 16}
+
+// ScaleoutRow is one shard count's outcome: the merged makespan (the
+// max shard cycle count — all chips run concurrently from cycle 0),
+// the shard spread (min/max shard makespans, exposing partition skew),
+// and the aggregate simulated throughput, which grows with S because S
+// chips serve the same read set in the time of the slowest shard.
+type ScaleoutRow struct {
+	Shards int
+	Policy accel.ShardPolicy
+	// Cycles is the merged makespan; MaxShardCycles == Cycles by
+	// construction (pinned by the perf guardrail), MinShardCycles
+	// exposes the skew the interleaved policy is there to fight.
+	Cycles, MaxShardCycles, MinShardCycles int64
+	// ThroughputReadsPerSec is the merged aggregate throughput.
+	ThroughputReadsPerSec float64
+	// SUUtil and EUUtil are the capacity-weighted merged utilizations.
+	SUUtil, EUUtil float64
+}
+
+// ScaleoutResult is the scale-out sweep: one row per shard count, all
+// over the same workload and per-chip configuration.
+type ScaleoutResult struct {
+	Policy accel.ShardPolicy
+	Rows   []ScaleoutRow
+}
+
+// Scaleout sweeps shard counts over the workload: for each S the full
+// NvWa configuration is replicated S ways, the read set is partitioned
+// under pol, and the S chips are simulated on the runner's worker pool
+// (the merged Reports are invariant to that pool's size — serial and
+// parallel sweeps are identical, pinned by the golden tests).
+func Scaleout(env *Env, counts []int, pol accel.ShardPolicy, r *Runner) ScaleoutResult {
+	if len(counts) == 0 {
+		counts = DefaultScaleoutCounts
+	}
+	res := ScaleoutResult{Policy: pol, Rows: make([]ScaleoutRow, len(counts))}
+	for i, s := range counts {
+		res.Rows[i] = scaleoutRun(env, s, pol, r)
+	}
+	return res
+}
+
+// scaleoutRun simulates one shard count and reduces its row.
+func scaleoutRun(env *Env, shards int, pol accel.ShardPolicy, r *Runner) ScaleoutRow {
+	o := env.NvWaOptions()
+	if r.UseMemo() {
+		o.Memo = env.Memo()
+	}
+	var inv *obs.Invariants
+	if testing.Testing() {
+		ob := obs.NewInvariantsOnly()
+		o.Obs = ob
+		inv = ob.Inv
+	}
+	sys, err := accel.NewSharded(env.Aligner, accel.ShardedOptions{
+		Options: o, Shards: shards, Policy: pol, Workers: r.Workers(),
+	})
+	if err != nil {
+		panic(err) // options are constructed internally; invalid means a bug
+	}
+	merged, parts, runErr := sys.RunDetailed(env.Reads)
+	if runErr != nil {
+		panic(fmt.Sprintf("experiments: scaleout S=%d: %v", shards, runErr))
+	}
+	if inv != nil {
+		if err := inv.Err(); err != nil {
+			panic(fmt.Sprintf("experiments: scaleout S=%d invariant violated: %v", shards, err))
+		}
+	}
+	row := ScaleoutRow{
+		Shards:                shards,
+		Policy:                pol,
+		Cycles:                merged.Cycles,
+		MaxShardCycles:        merged.Cycles,
+		MinShardCycles:        merged.Cycles,
+		ThroughputReadsPerSec: merged.ThroughputReadsPerSec,
+		SUUtil:                merged.SUUtil,
+		EUUtil:                merged.EUUtil,
+	}
+	for _, p := range parts {
+		if p.Cycles > row.MaxShardCycles {
+			row.MaxShardCycles = p.Cycles
+		}
+		if p.Cycles < row.MinShardCycles {
+			row.MinShardCycles = p.Cycles
+		}
+	}
+	return row
+}
+
+// Format renders the sweep table.
+func (r ScaleoutResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scale-out — aggregate throughput vs shard count (%s partitioning)\n", r.Policy)
+	fmt.Fprintf(&b, "  %6s %10s %10s %10s %6s %12s %7s %7s\n",
+		"shards", "makespan", "min-shard", "max-shard", "skew", "reads/s", "su-util", "eu-util")
+	var base float64
+	for _, row := range r.Rows {
+		skew := 1.0
+		if row.MinShardCycles > 0 {
+			skew = float64(row.MaxShardCycles) / float64(row.MinShardCycles)
+		}
+		speed := 1.0
+		if base == 0 {
+			base = row.ThroughputReadsPerSec
+		}
+		if base > 0 {
+			speed = row.ThroughputReadsPerSec / base
+		}
+		fmt.Fprintf(&b, "  %6d %10d %10d %10d %5.2fx %12.0f %7.3f %7.3f  (%.2fx)\n",
+			row.Shards, row.Cycles, row.MinShardCycles, row.MaxShardCycles, skew,
+			row.ThroughputReadsPerSec, row.SUUtil, row.EUUtil, speed)
+	}
+	return b.String()
+}

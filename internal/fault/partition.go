@@ -1,0 +1,115 @@
+package fault
+
+// PartitionPlan splits an aggregate fault plan over a sharded system
+// into per-shard plans with unit indices remapped into each shard's
+// local space. The aggregate plan addresses the scaled-out machine —
+// shard i owns SUs [i*susPerShard, (i+1)*susPerShard) and EUs
+// [i*eusPerShard, (i+1)*eusPerShard) — so a chaos spec generated over
+// (S*numSUs, S*totalEUs) composes with sharding: every unit-scoped
+// event lands on exactly one shard, and the union of the per-shard
+// injections is the aggregate schedule.
+//
+// Semantics:
+//   - shards <= 1 is the identity: the aggregate plan itself is
+//     returned unchanged (pointer-equal), preserving the shards=1 ≡
+//     unsharded byte-identity contract.
+//   - A nil aggregate plan partitions into all-nil shard plans, so a
+//     fault-free sharded run stays on the exact fault-free code path
+//     in every shard.
+//   - Unit-scoped events (stalls and permanent failures) route to the
+//     owning shard with Unit remapped to the shard-local index.
+//   - Unit indices beyond the sharded machine (Unit >= shards*per)
+//     are assigned to shard 0 unmapped; they remain out of range
+//     there, so they arm and expire exactly as in the unsharded run,
+//     conserving the Planned/Injected/Expired ledger.
+//   - Window events (MemTimeout, BufferPressure) carry no unit, so
+//     they are dealt round-robin across shards in canonical schedule
+//     order. This keeps Σ shard window effects == aggregate window
+//     count, at the cost of each window pressuring one chip instead
+//     of all — the documented aggregated (not exact) part of the
+//     partition.
+//
+// The per-shard plans are canonically ordered, so partitioning is a
+// pure function of the aggregate plan's canonical form: two plans
+// with equal Hash() partition into shard plans with equal hashes.
+func PartitionPlan(p *Plan, shards, susPerShard, eusPerShard int) []*Plan {
+	if shards <= 1 {
+		return []*Plan{p}
+	}
+	out := make([]*Plan, shards)
+	if p == nil {
+		return out
+	}
+	for i := range out {
+		out[i] = &Plan{}
+	}
+	wi := 0
+	for _, ev := range p.canonical() {
+		switch {
+		case ev.Kind.UnitScoped():
+			per := susPerShard
+			if ev.Kind == EUStall || ev.Kind == EUFail {
+				per = eusPerShard
+			}
+			if per > 0 && ev.Unit < shards*per {
+				shard, local := ev.Unit/per, ev.Unit%per
+				lev := ev
+				lev.Unit = local
+				out[shard].Events = append(out[shard].Events, lev)
+			} else {
+				// Out of range even for the aggregate machine: keep it
+				// on shard 0 unmapped so it arms and expires, exactly
+				// as the unsharded injector would treat it.
+				out[0].Events = append(out[0].Events, ev)
+			}
+		default:
+			out[wi%shards].Events = append(out[wi%shards].Events, ev)
+			wi++
+		}
+	}
+	return out
+}
+
+// MergeSummaries reduces per-shard fault accounting into one aggregate
+// Summary with exact, order-independent sums. DeadLetters are
+// concatenated in shard order with ReadIdx remapped to the global read
+// index via parts (parts[i][localIdx] = globalIdx), re-capped at
+// MaxDeadLetters; the exact DeadLettered count is always the sum.
+// PlanHash is left zero for the caller to stamp with the aggregate
+// plan's hash, and WatchdogErr collects shard diagnoses.
+func MergeSummaries(sums []Summary, parts [][]int) Summary {
+	var m Summary
+	for si, s := range sums {
+		m.Planned += s.Planned
+		m.Injected += s.Injected
+		m.Absorbed += s.Absorbed
+		m.Expired += s.Expired
+		m.SUFailures += s.SUFailures
+		m.EUFailures += s.EUFailures
+		m.SUStallCycles += s.SUStallCycles
+		m.EUStallCycles += s.EUStallCycles
+		m.MemDelayCycles += s.MemDelayCycles
+		m.ReadsReseeded += s.ReadsReseeded
+		m.ReadsAbandoned += s.ReadsAbandoned
+		m.Requeued += s.Requeued
+		m.Retried += s.Retried
+		m.DeadLettered += s.DeadLettered
+		m.Shed += s.Shed
+		for _, d := range s.DeadLetters {
+			if len(m.DeadLetters) >= MaxDeadLetters {
+				break
+			}
+			if si < len(parts) && d.ReadIdx >= 0 && d.ReadIdx < len(parts[si]) {
+				d.ReadIdx = parts[si][d.ReadIdx]
+			}
+			m.DeadLetters = append(m.DeadLetters, d)
+		}
+		if s.WatchdogErr != "" {
+			if m.WatchdogErr != "" {
+				m.WatchdogErr += "; "
+			}
+			m.WatchdogErr += s.WatchdogErr
+		}
+	}
+	return m
+}

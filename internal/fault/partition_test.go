@@ -1,0 +1,204 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPartitionPlanIdentity(t *testing.T) {
+	t.Parallel()
+	p := DefaultSpec(1).Generate(16, 8)
+	for _, s := range []int{0, 1} {
+		got := PartitionPlan(p, s, 16, 8)
+		if len(got) != 1 || got[0] != p {
+			t.Errorf("shards=%d: want the aggregate plan pointer back unchanged", s)
+		}
+	}
+	for i, sp := range PartitionPlan(nil, 4, 16, 8) {
+		if sp != nil {
+			t.Errorf("nil plan shard %d: want nil, got %v", i, sp)
+		}
+	}
+}
+
+// TestPartitionPlanConservation reconstructs the aggregate schedule
+// from the shard plans: every unit-scoped event lands on exactly one
+// shard with its global unit index recoverable, and window events are
+// dealt so their total count is conserved.
+func TestPartitionPlanConservation(t *testing.T) {
+	t.Parallel()
+	const shards, sus, eus = 4, 16, 8
+	sp := DefaultSpec(7)
+	sp.Horizon = 10000
+	p := sp.Generate(sus*shards, eus*shards)
+
+	plans := PartitionPlan(p, shards, sus, eus)
+	if len(plans) != shards {
+		t.Fatalf("got %d shard plans", len(plans))
+	}
+
+	count := func(evs []Event) (unit, window int) {
+		for _, ev := range evs {
+			if ev.Kind.UnitScoped() {
+				unit++
+			} else {
+				window++
+			}
+		}
+		return
+	}
+	aggUnit, aggWindow := count(p.Events)
+
+	// Reconstruct: map each shard-local unit event back to its global
+	// unit id and compare multisets with the aggregate plan.
+	type key struct {
+		kind  Kind
+		cycle int64
+		unit  int
+		dur   int64
+	}
+	want := map[key]int{}
+	for _, ev := range p.Events {
+		if ev.Kind.UnitScoped() {
+			want[key{ev.Kind, ev.Cycle, ev.Unit, ev.Dur}]++
+		}
+	}
+	got := map[key]int{}
+	sumUnit, sumWindow := 0, 0
+	for si, shp := range plans {
+		u, w := count(shp.Events)
+		sumUnit += u
+		sumWindow += w
+		for _, ev := range shp.Events {
+			if !ev.Kind.UnitScoped() {
+				continue
+			}
+			per := sus
+			if ev.Kind == EUStall || ev.Kind == EUFail {
+				per = eus
+			}
+			if ev.Unit >= per {
+				t.Errorf("shard %d: local unit %d out of per-shard range %d", si, ev.Unit, per)
+			}
+			got[key{ev.Kind, ev.Cycle, si*per + ev.Unit, ev.Dur}]++
+		}
+		if err := shp.Validate(); err != nil {
+			t.Errorf("shard %d plan invalid: %v", si, err)
+		}
+	}
+	if sumUnit != aggUnit {
+		t.Errorf("Σ shard unit events %d != aggregate %d", sumUnit, aggUnit)
+	}
+	if sumWindow != aggWindow {
+		t.Errorf("Σ shard window events %d != aggregate %d", sumWindow, aggWindow)
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("event %+v: aggregate count %d, reconstructed %d", k, n, got[k])
+		}
+	}
+	for k, n := range got {
+		if want[k] != n {
+			t.Errorf("event %+v: reconstructed count %d not in aggregate", k, n)
+		}
+	}
+}
+
+// TestPartitionPlanDeterministic pins partitioning as a pure function
+// of the aggregate plan's canonical form.
+func TestPartitionPlanDeterministic(t *testing.T) {
+	t.Parallel()
+	p := DefaultSpec(3).Generate(32, 16)
+	a := PartitionPlan(p, 4, 8, 4)
+	b := PartitionPlan(p, 4, 8, 4)
+	for i := range a {
+		if a[i].Hash() != b[i].Hash() {
+			t.Errorf("shard %d plan hash not deterministic", i)
+		}
+	}
+}
+
+// TestPartitionPlanOutOfRange keeps over-range unit events on shard 0
+// unmapped so they arm and expire like the unsharded run.
+func TestPartitionPlanOutOfRange(t *testing.T) {
+	t.Parallel()
+	p := &Plan{Events: []Event{{Kind: EUFail, Cycle: 100, Unit: 999}}}
+	plans := PartitionPlan(p, 4, 16, 8) // machine has 4*8=32 EUs
+	if n := len(plans[0].Events); n != 1 {
+		t.Fatalf("shard 0 events = %d, want 1", n)
+	}
+	if ev := plans[0].Events[0]; ev.Unit != 999 {
+		t.Errorf("out-of-range unit remapped to %d, want 999 unchanged", ev.Unit)
+	}
+	for i := 1; i < 4; i++ {
+		if len(plans[i].Events) != 0 {
+			t.Errorf("shard %d got %d events, want 0", i, len(plans[i].Events))
+		}
+	}
+}
+
+func TestMergeSummaries(t *testing.T) {
+	t.Parallel()
+	parts := [][]int{{0, 2, 4}, {1, 3, 5}}
+	sums := []Summary{
+		{
+			Planned: 3, Injected: 2, Absorbed: 1, Expired: 1,
+			Requeued: 2, Retried: 1, DeadLettered: 1, Shed: 1,
+			DeadLetters: []DeadLetter{{ReadIdx: 1}},
+			WatchdogErr: "shard a stuck",
+		},
+		{
+			Planned: 2, Injected: 2, Absorbed: 2,
+			SUStallCycles: 7, DeadLetters: []DeadLetter{{ReadIdx: 2}},
+			WatchdogErr: "shard b stuck",
+		},
+	}
+	m := MergeSummaries(sums, parts)
+	if m.Planned != 5 || m.Injected != 4 || m.Absorbed != 3 || m.Expired != 1 {
+		t.Errorf("injection sums wrong: %+v", m)
+	}
+	if m.Requeued != 2 || m.Retried != 1 || m.DeadLettered != 1 || m.Shed != 1 {
+		t.Errorf("retry sums wrong: %+v", m)
+	}
+	if m.SUStallCycles != 7 {
+		t.Errorf("SUStallCycles = %d", m.SUStallCycles)
+	}
+	if len(m.DeadLetters) != 2 {
+		t.Fatalf("dead letters = %d, want 2", len(m.DeadLetters))
+	}
+	// Shard 0 local read 1 → global 2; shard 1 local read 2 → global 5.
+	if m.DeadLetters[0].ReadIdx != 2 || m.DeadLetters[1].ReadIdx != 5 {
+		t.Errorf("dead-letter remap wrong: %d, %d", m.DeadLetters[0].ReadIdx, m.DeadLetters[1].ReadIdx)
+	}
+	if !strings.Contains(m.WatchdogErr, "shard a stuck") || !strings.Contains(m.WatchdogErr, "; shard b stuck") {
+		t.Errorf("watchdog join wrong: %q", m.WatchdogErr)
+	}
+	if m.PlanHash != 0 {
+		t.Errorf("PlanHash stamped by merge, want 0 for the caller: %x", m.PlanHash)
+	}
+}
+
+// TestMergeSummariesCap keeps the merged dead-letter sample within
+// MaxDeadLetters while the exact count stays the sum.
+func TestMergeSummariesCap(t *testing.T) {
+	t.Parallel()
+	mk := func(n int) Summary {
+		s := Summary{DeadLettered: n}
+		for i := 0; i < n; i++ {
+			s.DeadLetters = append(s.DeadLetters, DeadLetter{ReadIdx: i})
+		}
+		return s
+	}
+	parts := [][]int{make([]int, MaxDeadLetters), make([]int, MaxDeadLetters)}
+	for i := range parts[0] {
+		parts[0][i] = i
+		parts[1][i] = MaxDeadLetters + i
+	}
+	m := MergeSummaries([]Summary{mk(MaxDeadLetters), mk(MaxDeadLetters)}, parts)
+	if m.DeadLettered != 2*MaxDeadLetters {
+		t.Errorf("DeadLettered = %d, want %d", m.DeadLettered, 2*MaxDeadLetters)
+	}
+	if len(m.DeadLetters) != MaxDeadLetters {
+		t.Errorf("sample = %d, want cap %d", len(m.DeadLetters), MaxDeadLetters)
+	}
+}

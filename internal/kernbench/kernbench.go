@@ -18,6 +18,8 @@
 //     Task events on the typed heap.
 //   - pipeline.Align: the end-to-end software aligner with every
 //     reference kernel selected vs the optimized kernels.
+//   - accel.MergeReports: the fresh-scratch reference shard merge vs
+//     the reused zero-alloc MergeAcc reduction.
 package kernbench
 
 import (
@@ -25,6 +27,7 @@ import (
 	"sync"
 	"testing"
 
+	"nvwa/internal/accel"
 	"nvwa/internal/align"
 	"nvwa/internal/fmindex"
 	"nvwa/internal/genome"
@@ -290,7 +293,84 @@ func Cases() []Case {
 			},
 		},
 	}
+	cases = append(cases, mergeCase())
 	return cases
+}
+
+// shardReports synthesises n deterministic per-shard Reports with the
+// vector shapes a real scale-out run produces (utilization series,
+// per-class counters), so the merge benchmark reduces realistic state.
+func shardReports(n int) []*accel.Report {
+	rng := rand.New(rand.NewSource(97))
+	reps := make([]*accel.Report, n)
+	for i := range reps {
+		r := &accel.Report{
+			Reads:     200 + rng.Intn(100),
+			TotalHits: 700 + rng.Intn(400),
+			Cycles:    int64(9000 + rng.Intn(4000)),
+			Switches:  120 + rng.Intn(60),
+			SUUtil:    0.3 + 0.5*rng.Float64(),
+			EUUtil:    0.2 + 0.5*rng.Float64(),
+			EUPEUtil:  0.1 + 0.4*rng.Float64(),
+		}
+		r.SUSeries = make([]float64, 64)
+		r.EUSeries = make([]float64, 64)
+		for j := 0; j < 64; j++ {
+			r.SUSeries[j] = rng.Float64()
+			r.EUSeries[j] = rng.Float64()
+		}
+		r.PerClassEUUtil = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		r.AllocStats.Optimal = 400 + rng.Intn(200)
+		r.AllocStats.NearOptimal = 100 + rng.Intn(100)
+		r.AllocStats.PerClassOptimal = []int{rng.Intn(200), rng.Intn(200), rng.Intn(200)}
+		r.AllocStats.PerClassTotal = []int{200 + rng.Intn(100), 200 + rng.Intn(100), 200 + rng.Intn(100)}
+		r.HBM.Accesses = int64(4000 + rng.Intn(2000))
+		r.HBM.RowHits = r.HBM.Accesses - int64(rng.Intn(300))
+		r.HBM.RowMisses = r.HBM.Accesses - r.HBM.RowHits
+		r.HBM.Bytes = r.HBM.Accesses * 64
+		r.HBM.EnergyPJ = float64(r.HBM.Accesses) * 12.5
+		r.Energy.StaticJ = 1e-5 * rng.Float64()
+		r.Energy.DynamicJ = 1e-5 * rng.Float64()
+		r.Energy.HBMJ = 1e-6 * rng.Float64()
+		r.Energy.TotalJ = r.Energy.StaticJ + r.Energy.DynamicJ + r.Energy.HBMJ
+		reps[i] = r
+	}
+	return reps
+}
+
+// mergeCase pairs the fresh-scratch reference shard merge against the
+// reused MergeAcc reduction over 16 synthetic shard Reports.
+func mergeCase() Case {
+	return Case{
+		Kernel: "accel.MergeReports/16-shards",
+		Note:   "fresh-scratch reference merge vs reused zero-alloc MergeAcc reduction",
+		Before: func(b *testing.B) {
+			reps := shardReports(16)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				accel.MergeReportsReference(reps, 1.0)
+			}
+		},
+		After: func(b *testing.B) {
+			reps := shardReports(16)
+			acc := accel.NewMergeAcc()
+			acc.Reset()
+			for _, r := range reps { // warm the retained scratch
+				acc.Add(r)
+			}
+			acc.Merged(1.0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				acc.Reset()
+				for _, r := range reps {
+					acc.Add(r)
+				}
+				acc.Merged(1.0)
+			}
+		},
+	}
 }
 
 // addTask is the pooled benchmark task for the scheduling case.

@@ -7,6 +7,11 @@ import "fmt"
 // last line of defense under fault injection: degradation policies
 // are designed to always terminate, and the watchdog proves it per
 // run.
+//
+// A Watchdog is read-only during RunGuarded (budgets are consulted,
+// never mutated), so one Watchdog value may be shared across
+// concurrently running engines — the sharded scale-out path hands the
+// same Watchdog to every shard.
 type Watchdog struct {
 	// MaxCycles aborts the run before firing any event scheduled
 	// beyond this cycle. 0 disables the cycle budget.

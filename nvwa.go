@@ -76,7 +76,48 @@ type (
 	// assign it to Options.Watchdog to diagnose hangs instead of
 	// waiting on them.
 	Watchdog = sim.Watchdog
+	// ShardedAccelerator simulates S independent accelerator chips over
+	// a partitioned read set and merges their Reports deterministically.
+	ShardedAccelerator = accel.ShardedSystem
+	// ShardedOptions configures a ShardedAccelerator: the per-chip
+	// Options plus shard count, partitioning policy, and worker pool.
+	ShardedOptions = accel.ShardedOptions
+	// ShardPolicy selects how reads are partitioned across shards.
+	ShardPolicy = accel.ShardPolicy
 )
+
+// Shard partitioning policies.
+const (
+	// ShardContiguous assigns contiguous, size-balanced read ranges.
+	ShardContiguous = accel.ShardContiguous
+	// ShardInterleaved deals reads round-robin, fighting partition skew
+	// on sorted or otherwise non-stationary read sets.
+	ShardInterleaved = accel.ShardInterleaved
+)
+
+// ParseShardPolicy decodes "contiguous" or "interleaved".
+func ParseShardPolicy(s string) (ShardPolicy, error) { return accel.ParseShardPolicy(s) }
+
+// NewShardedAccelerator builds a sharded multi-chip scale-out system
+// over an aligner's index. Build a fresh instance per Run.
+func NewShardedAccelerator(a *Aligner, opts ShardedOptions) (*ShardedAccelerator, error) {
+	return accel.NewSharded(a, opts)
+}
+
+// ShardedRun partitions reads into shards chips under pol, simulates
+// every shard concurrently (workers <= 0 means GOMAXPROCS), and returns
+// the deterministically merged Report: max-cycle makespan, aggregate
+// throughput, capacity-weighted utilizations, and summed ledgers. With
+// shards <= 1 the result is byte-identical to an unsharded Run.
+func ShardedRun(a *Aligner, opts Options, reads []Sequence, shards int, pol ShardPolicy, workers int) (*Report, error) {
+	sys, err := accel.NewSharded(a, accel.ShardedOptions{
+		Options: opts, Shards: shards, Policy: pol, Workers: workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sys.RunChecked(reads)
+}
 
 // EncodeSequence converts an ASCII DNA string ("ACGT") to a Sequence.
 func EncodeSequence(s string) Sequence { return seq.Encode(s) }

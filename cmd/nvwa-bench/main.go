@@ -5,7 +5,7 @@
 //	nvwa-bench [-exp all|fig2|fig5|fig6|fig8|fig9|fig11|fig12|fig13a|fig13b|fig14|tab1|tab2|chaos|scaleout]
 //	           [-reads N] [-reflen N] [-seed N] [-chaos-seeds N]
 //	           [-parallel] [-j N] [-json BENCH_parallel.json]
-//	           [-shards S] [-shard-policy contiguous|interleaved]
+//	           [-shards S] [-shard-policy contiguous|interleaved|balanced]
 //	           [-scaleout-json BENCH_scaleout.json] [-scaleout-check]
 //
 // Each experiment prints the rows or series of the corresponding paper
@@ -40,8 +40,9 @@
 // -shards S routes every Env-backed simulation through the sharded
 // scale-out engine (S independent chips over a partitioned read set,
 // Reports merged deterministically; see DESIGN.md "Scale-out
-// sharding"). -shard-policy picks contiguous (default) or interleaved
-// partitioning. The -json bench additionally re-chunks the fig11 and
+// sharding"). -shard-policy picks contiguous (default), interleaved,
+// or balanced partitioning (balanced = deterministic work stealing
+// over seed-density cost estimates). The -json bench additionally re-chunks the fig11 and
 // fig14 jobs at S=4 on both the serial and parallel side, so their
 // single large simulations scale with -j while the byte-identity
 // check still compares like with like.
@@ -94,7 +95,7 @@ func main() {
 	kernelsCheck := flag.String("kernels-check", "", "re-measure the kernel suite and compare against this committed baseline instead of writing a file (implies -kernels)")
 	kernelsTol := flag.Float64("kernels-tol", 0.20, "with -kernels-check: allowed fractional drop in per-kernel speedup")
 	shards := flag.Int("shards", 1, "simulate S independent chips over a partitioned read set and merge Reports deterministically (1 = unsharded)")
-	shardPolicy := flag.String("shard-policy", "contiguous", "read partitioning policy for -shards: contiguous or interleaved")
+	shardPolicy := flag.String("shard-policy", "contiguous", "read partitioning policy for -shards: contiguous, interleaved, or balanced")
 	scaleoutOut := flag.String("scaleout-json", "", "sweep shard counts serial vs parallel and write the BENCH_scaleout.json artifact to this file")
 	scaleoutCheck := flag.Bool("scaleout-check", false, "run the machine-independent scale-out guardrail and exit non-zero on violation")
 	flag.Parse()
@@ -211,7 +212,7 @@ func main() {
 		return
 	}
 	if *scaleoutOut != "" {
-		if err := runScaleoutBench(*scaleoutOut, getEnv(), pol, *refLen, *seed, runner); err != nil {
+		if err := runScaleoutBench(*scaleoutOut, getEnv(), *refLen, *seed, runner); err != nil {
 			fail(err)
 		}
 		return

@@ -16,22 +16,37 @@ import (
 	"nvwa/internal/experiments"
 )
 
-// scaleoutRow is one shard count of the BENCH_scaleout.json artifact:
-// the merged simulation outcome plus the serial-versus-parallel
-// wall-clock comparison for that shard count.
+// scaleoutPolicies is the policy sweep of the artifact: both static
+// partitionings plus the work-stealing rebalancer they are compared
+// against.
+var scaleoutPolicies = []accel.ShardPolicy{
+	accel.ShardContiguous, accel.ShardInterleaved, accel.ShardBalanced,
+}
+
+// scaleoutRow is one (policy, shard count) point of the
+// BENCH_scaleout.json artifact: the merged simulation outcome plus the
+// serial-versus-parallel wall-clock comparison for that point.
 type scaleoutRow struct {
+	Policy                string  `json:"policy"`
 	Shards                int     `json:"shards"`
 	MakespanCycles        int64   `json:"makespan_cycles"`
 	MinShardCycles        int64   `json:"min_shard_cycles"`
 	MaxShardCycles        int64   `json:"max_shard_cycles"`
 	ThroughputReadsPerSec float64 `json:"throughput_reads_per_sec"`
-	SUUtil                float64 `json:"su_util"`
-	EUUtil                float64 `json:"eu_util"`
-	SerialMS              float64 `json:"serial_ms"`
-	ParallelMS            float64 `json:"parallel_ms"`
-	Speedup               float64 `json:"speedup"`
+	// su_util / eu_util are cycle-weighted; the _makespan pair
+	// normalizes the same busy unit-cycles by S × makespan, which is
+	// the figure the balance target is stated against.
+	SUUtil         float64 `json:"su_util"`
+	EUUtil         float64 `json:"eu_util"`
+	SUUtilMakespan float64 `json:"su_util_makespan"`
+	EUUtilMakespan float64 `json:"eu_util_makespan"`
+	// Steals counts resolved steal events (balanced policy only).
+	Steals     int     `json:"steals"`
+	SerialMS   float64 `json:"serial_ms"`
+	ParallelMS float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
 	// Identical is the determinism check: the serial and parallel sweeps
-	// of this shard count must produce equal result rows.
+	// of this point must produce equal result rows.
 	Identical bool `json:"identical"`
 }
 
@@ -40,17 +55,17 @@ type scaleoutFile struct {
 	GeneratedAt string        `json:"generated_at"`
 	Host        benchHost     `json:"host"`
 	Workload    benchWork     `json:"workload"`
-	Policy      string        `json:"policy"`
+	Policies    []string      `json:"policies"`
 	Workers     int           `json:"workers"`
 	Rows        []scaleoutRow `json:"rows"`
 }
 
-// runScaleoutBench sweeps the scale-out shard counts, timing each under
-// the serial and parallel policies, and writes the JSON artifact. The
-// merged simulation outcome is deterministic (identical between the
-// two runs — checked per row); only the wall-clock columns vary by
-// host.
-func runScaleoutBench(path string, env *experiments.Env, pol accel.ShardPolicy,
+// runScaleoutBench sweeps every partitioning policy across the
+// scale-out shard counts, timing each point under the serial and
+// parallel runners, and writes the JSON artifact. The merged
+// simulation outcome is deterministic (identical between the two runs
+// — checked per point); only the wall-clock columns vary by host.
+func runScaleoutBench(path string, env *experiments.Env,
 	refLen int, seed int64, runner *experiments.Runner) error {
 	if !runner.Parallel() {
 		runner = experiments.NewRunner(runtime.NumCPU())
@@ -62,46 +77,55 @@ func runScaleoutBench(path string, env *experiments.Env, pol accel.ShardPolicy,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		Host:        hostInfo(),
 		Workload:    benchWork{RefLen: refLen, Reads: len(env.Reads), Seed: seed},
-		Policy:      pol.String(),
 		Workers:     par.Workers(),
 	}
-	fmt.Printf("%-6s %10s %12s %7s %7s %12s %12s %9s %s\n",
-		"shards", "makespan", "reads/s", "su-util", "eu-util",
-		"serial(ms)", "parallel(ms)", "speedup", "identical")
-	for _, s := range experiments.DefaultScaleoutCounts {
-		counts := []int{s}
-		t0 := time.Now()
-		serRes := experiments.Scaleout(env, counts, pol, ser)
-		serialMS := float64(time.Since(t0).Microseconds()) / 1000
-		t1 := time.Now()
-		parRes := experiments.Scaleout(env, counts, pol, par)
-		parallelMS := float64(time.Since(t1).Microseconds()) / 1000
+	for _, pol := range scaleoutPolicies {
+		out.Policies = append(out.Policies, pol.String())
+	}
+	fmt.Printf("%-11s %-6s %10s %12s %7s %7s %7s %7s %6s %10s %10s %8s %s\n",
+		"policy", "shards", "makespan", "reads/s", "su-util", "eu-util",
+		"su-mksp", "eu-mksp", "steals", "serial(ms)", "parall(ms)", "speedup", "identical")
+	for _, pol := range scaleoutPolicies {
+		for _, s := range experiments.DefaultScaleoutCounts {
+			counts := []int{s}
+			t0 := time.Now()
+			serRes := experiments.Scaleout(env, counts, pol, ser)
+			serialMS := float64(time.Since(t0).Microseconds()) / 1000
+			t1 := time.Now()
+			parRes := experiments.Scaleout(env, counts, pol, par)
+			parallelMS := float64(time.Since(t1).Microseconds()) / 1000
 
-		r := parRes.Rows[0]
-		row := scaleoutRow{
-			Shards:                r.Shards,
-			MakespanCycles:        r.Cycles,
-			MinShardCycles:        r.MinShardCycles,
-			MaxShardCycles:        r.MaxShardCycles,
-			ThroughputReadsPerSec: r.ThroughputReadsPerSec,
-			SUUtil:                r.SUUtil,
-			EUUtil:                r.EUUtil,
-			SerialMS:              serialMS,
-			ParallelMS:            parallelMS,
-			Identical:             reflect.DeepEqual(serRes, parRes),
+			r := parRes.Rows[0]
+			row := scaleoutRow{
+				Policy:                pol.String(),
+				Shards:                r.Shards,
+				MakespanCycles:        r.Cycles,
+				MinShardCycles:        r.MinShardCycles,
+				MaxShardCycles:        r.MaxShardCycles,
+				ThroughputReadsPerSec: r.ThroughputReadsPerSec,
+				SUUtil:                r.SUUtil,
+				EUUtil:                r.EUUtil,
+				SUUtilMakespan:        r.SUUtilMakespan,
+				EUUtilMakespan:        r.EUUtilMakespan,
+				Steals:                r.Steals,
+				SerialMS:              serialMS,
+				ParallelMS:            parallelMS,
+				Identical:             reflect.DeepEqual(serRes, parRes),
+			}
+			if parallelMS > 0 {
+				row.Speedup = serialMS / parallelMS
+			}
+			out.Rows = append(out.Rows, row)
+			fmt.Printf("%-11s %-6d %10d %12.0f %7.3f %7.3f %7.3f %7.3f %6d %10.1f %10.1f %7.2fx %v\n",
+				row.Policy, row.Shards, row.MakespanCycles, row.ThroughputReadsPerSec,
+				row.SUUtil, row.EUUtil, row.SUUtilMakespan, row.EUUtilMakespan,
+				row.Steals, row.SerialMS, row.ParallelMS, row.Speedup, row.Identical)
 		}
-		if parallelMS > 0 {
-			row.Speedup = serialMS / parallelMS
-		}
-		out.Rows = append(out.Rows, row)
-		fmt.Printf("%-6d %10d %12.0f %7.3f %7.3f %12.1f %12.1f %8.2fx %v\n",
-			row.Shards, row.MakespanCycles, row.ThroughputReadsPerSec,
-			row.SUUtil, row.EUUtil, row.SerialMS, row.ParallelMS,
-			row.Speedup, row.Identical)
 	}
 	for _, row := range out.Rows {
 		if !row.Identical {
-			return fmt.Errorf("scaleout bench: S=%d serial and parallel sweeps diverged", row.Shards)
+			return fmt.Errorf("scaleout bench: %s S=%d serial and parallel sweeps diverged",
+				row.Policy, row.Shards)
 		}
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
@@ -112,13 +136,18 @@ func runScaleoutBench(path string, env *experiments.Env, pol accel.ShardPolicy,
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (%d shard counts, j=%d, %s)\n",
-		path, len(out.Rows), par.Workers(), out.Policy)
+	fmt.Fprintf(os.Stderr, "wrote %s (%d policies × %d shard counts, j=%d)\n",
+		path, len(scaleoutPolicies), len(experiments.DefaultScaleoutCounts), par.Workers())
 	if out.Host.Note != "" {
 		fmt.Fprintln(os.Stderr, "note:", out.Host.Note)
 	}
 	return nil
 }
+
+// scaleoutBalanceFloor is the -scaleout-check balance floor: the
+// balanced policy's max-shard/mean-shard estimated-work ratio must not
+// exceed this at S >= 4.
+const scaleoutBalanceFloor = 1.10
 
 // runScaleoutCheck is the machine-independent scale-out guardrail run
 // by CI's perf-smoke job. It asserts, on the caller's workload:
@@ -128,16 +157,21 @@ func runScaleoutBench(path string, env *experiments.Env, pol accel.ShardPolicy,
 //  2. aggregate simulated throughput at S=4 exceeds the S=1 baseline
 //     (scale-out must pay for itself in the simulated metric);
 //  3. the MergeAcc reduction hot path (Reset + Add per shard report)
-//     performs zero heap allocations in steady state; and
-//  4. the optimized merge reproduces the reference merge exactly.
+//     performs zero heap allocations in steady state;
+//  4. the optimized merge reproduces the reference merge exactly;
+//  5. the balanced policy's steal planner meets its balance floor —
+//     max-shard/mean-shard estimated work <= 1.10 at S=4 — and its
+//     merged per-read Results are identical to the static policy's
+//     (stealing moves reads, never changes their outcome).
 //
-// Every assertion is about simulated cycles or allocation counts, so
-// the check is stable on any host, including single-core CI runners.
+// Every assertion is about simulated cycles, estimate-space sums, or
+// allocation counts, so the check is stable on any host, including
+// single-core CI runners.
 func runScaleoutCheck(env *experiments.Env, pol accel.ShardPolicy) error {
 	o := env.NvWaOptions()
-	run := func(shards int) (*accel.Report, []*accel.Report, error) {
+	run := func(shards int, p accel.ShardPolicy) (*accel.Report, []*accel.Report, error) {
 		sys, err := accel.NewSharded(env.Aligner, accel.ShardedOptions{
-			Options: o, Shards: shards, Policy: pol, Workers: runtime.NumCPU(),
+			Options: o, Shards: shards, Policy: p, Workers: runtime.NumCPU(),
 		})
 		if err != nil {
 			return nil, nil, err
@@ -145,11 +179,11 @@ func runScaleoutCheck(env *experiments.Env, pol accel.ShardPolicy) error {
 		return sys.RunDetailed(env.Reads)
 	}
 
-	base, _, err := run(1)
+	base, _, err := run(1, pol)
 	if err != nil {
 		return fmt.Errorf("scaleout-check: S=1: %w", err)
 	}
-	merged, parts, err := run(4)
+	merged, parts, err := run(4, pol)
 	if err != nil {
 		return fmt.Errorf("scaleout-check: S=4: %w", err)
 	}
@@ -195,6 +229,41 @@ func runScaleoutCheck(env *experiments.Env, pol accel.ShardPolicy) error {
 	want := accel.MergeReportsReference(parts, o.Config.ClockGHz)
 	if !reflect.DeepEqual(got, want) {
 		return fmt.Errorf("scaleout-check: MergeAcc result diverges from reference merge")
+	}
+
+	// 5. Balanced rebalancer floor: the steal planner must equalize
+	// per-shard estimated work to within the floor, and stealing must
+	// not change any read's outcome.
+	est := accel.EstimateReadCosts(env.Aligner, env.Reads, runtime.NumCPU())
+	const floorS = 4
+	bparts, _ := accel.PlanBalanced(est, floorS)
+	var total, maxPart float64
+	for _, part := range bparts {
+		var sum float64
+		for _, g := range part {
+			sum += est[g]
+		}
+		total += sum
+		if sum > maxPart {
+			maxPart = sum
+		}
+	}
+	if mean := total / float64(floorS); mean > 0 {
+		if ratio := maxPart / mean; ratio > scaleoutBalanceFloor {
+			return fmt.Errorf("scaleout-check: balanced S=%d estimated-work balance %.3f exceeds floor %.2f",
+				floorS, ratio, scaleoutBalanceFloor)
+		}
+	}
+	balanced, _, err := run(floorS, accel.ShardBalanced)
+	if err != nil {
+		return fmt.Errorf("scaleout-check: balanced S=%d: %w", floorS, err)
+	}
+	staticRef, _, err := run(floorS, accel.ShardContiguous)
+	if err != nil {
+		return fmt.Errorf("scaleout-check: contiguous S=%d: %w", floorS, err)
+	}
+	if !reflect.DeepEqual(balanced.Results, staticRef.Results) {
+		return fmt.Errorf("scaleout-check: balanced per-read Results diverge from contiguous (a steal changed an outcome)")
 	}
 	return nil
 }

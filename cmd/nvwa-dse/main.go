@@ -7,7 +7,7 @@
 //	nvwa-dse [-reads N] [-reflen N] [-seed N]
 //	         [-depths 64,256,1024,4096] [-intervals 1,2,4,8]
 //	         [-parallel] [-j N]
-//	         [-shards S] [-shard-policy contiguous|interleaved]
+//	         [-shards S] [-shard-policy contiguous|interleaved|balanced]
 //
 // -parallel (or -j > 1) fans the independent design points across a
 // worker pool backed by the shared functional memo cache; the CSV is
@@ -43,7 +43,7 @@ func main() {
 	parallel := flag.Bool("parallel", false, "fan independent design points across a worker pool")
 	jobs := flag.Int("j", 0, "worker count for -parallel (0 = GOMAXPROCS; >1 implies -parallel)")
 	shards := flag.Int("shards", 1, "simulate S independent chips per design point and merge reports (1 = unsharded)")
-	shardPolicy := flag.String("shard-policy", "contiguous", "read partitioning policy for -shards: contiguous or interleaved")
+	shardPolicy := flag.String("shard-policy", "contiguous", "read partitioning policy for -shards: contiguous, interleaved, or balanced")
 	flag.Parse()
 
 	if flag.NArg() > 0 {

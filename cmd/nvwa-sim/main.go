@@ -8,7 +8,7 @@
 //	         [-sus N] [-buffer N] [-seeding one-cycle|batch]
 //	         [-alloc grouped|exclusive|shared|fifo]
 //	         [-pool derived|table1|uniform]
-//	         [-shards S] [-shard-policy contiguous|interleaved]
+//	         [-shards S] [-shard-policy contiguous|interleaved|balanced]
 //	         [-faults SPEC] [-watchdog N]
 //	         [-trace FILE] [-metrics FILE]
 //	         [-cpuprofile FILE] [-memprofile FILE]
@@ -17,8 +17,11 @@
 // (scale-out) and reports the deterministically merged outcome:
 // makespan is the max shard makespan, throughput is the aggregate,
 // utilizations are capacity-weighted means, and ledgers are sums.
-// -shard-policy picks contiguous (default) or interleaved
-// partitioning. S=1 is byte-identical to the unsharded simulator.
+// -shard-policy picks contiguous (default), interleaved, or
+// balanced partitioning; balanced rebalances the contiguous
+// assignment with the deterministic work-stealing planner (the
+// report then carries the resolved StealLog). S=1 is byte-identical
+// to the unsharded simulator.
 // With -faults, the schedule is interpreted over the aggregate machine
 // (S×sus seeding units, S×EUs extension units) and partitioned per
 // shard with unit-id remapping.
@@ -69,7 +72,7 @@ func main() {
 	pool := flag.String("pool", "derived", "EU pool: derived (Eq. 5 from workload), table1, uniform")
 	frontend := flag.String("frontend", "fm", "seeding front end: fm (BWA-MEM three-pass) or minimizer")
 	shards := flag.Int("shards", 1, "simulate S independent chips over a partitioned read set and merge reports (1 = unsharded)")
-	shardPolicy := flag.String("shard-policy", "contiguous", "read partitioning policy for -shards: contiguous or interleaved")
+	shardPolicy := flag.String("shard-policy", "contiguous", "read partitioning policy for -shards: contiguous, interleaved, or balanced")
 	faultsSpec := flag.String("faults", "", "fault schedule: wire form (\"v1;...\") or generator spec (\"seed=7,eu-fail=2\"); with -shards, interpreted over the aggregate machine")
 	watchdog := flag.Int64("watchdog", 0, "abort the run after N cycles with a livelock diagnosis (0 = off)")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON instead of text")

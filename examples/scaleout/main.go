@@ -52,9 +52,11 @@ func main() {
 	}
 
 	// Policies: contiguous keeps input locality; interleaved deals
-	// reads round-robin to fight skew when expensive reads cluster.
+	// reads round-robin to fight skew when expensive reads cluster;
+	// balanced plans a deterministic work-stealing schedule over
+	// seed-density cost estimates to kill the makespan tail.
 	fmt.Println()
-	for _, pol := range []nvwa.ShardPolicy{nvwa.ShardContiguous, nvwa.ShardInterleaved} {
+	for _, pol := range []nvwa.ShardPolicy{nvwa.ShardContiguous, nvwa.ShardInterleaved, nvwa.ShardBalanced} {
 		rep, err := nvwa.ShardedRun(aligner, opts, reads, 4, pol, 0)
 		if err != nil {
 			log.Fatal(err)

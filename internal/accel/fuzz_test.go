@@ -1,0 +1,95 @@
+package accel
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzStealSchedule drives the steal planner and replayer with
+// arbitrary byte-derived cost vectors, shard counts, and event
+// sequences, pinning the two properties the balanced policy's
+// correctness rests on:
+//
+//  1. cover — PlanBalanced and ApplySteals always yield an exact
+//     disjoint cover of the read indices, for any inputs (including
+//     hostile events the planner would never emit);
+//  2. replay — the planner's own StealLog, replayed over the
+//     contiguous assignment, reproduces its post-steal queues exactly,
+//     so the log is a faithful record of the schedule rather than an
+//     approximation of it.
+//
+// Input encoding: byte 0 picks the shard count (1..16); each following
+// byte is one read's cost (0..255) up to 256 reads; three trailing
+// bytes per event decode (victim, thief, count) with offsets chosen so
+// out-of-range ids and oversized counts are generated routinely.
+func FuzzStealSchedule(f *testing.F) {
+	f.Add([]byte{4, 10, 20, 30, 40, 50, 60, 70, 80})
+	f.Add([]byte{1, 255})
+	f.Add([]byte{16, 1, 1, 1, 200})
+	f.Add([]byte{3, 9, 9, 9, 9, 9, 9, 0, 2, 3, 2, 0, 200})
+	f.Add([]byte{8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		s := int(data[0])%16 + 1
+		rest := data[1:]
+		n := len(rest)
+		if n > 256 {
+			n = 256
+		}
+		costs := make([]float64, n)
+		for i := range costs {
+			costs[i] = float64(rest[i])
+		}
+
+		parts, log := PlanBalanced(costs, s)
+		if len(parts) != s {
+			t.Fatalf("S=%d: %d parts", s, len(parts))
+		}
+		checkCover(t, parts, n)
+
+		queues, rawLog := planStealQueues(costs, s)
+		checkCover(t, queues, n)
+		replay := ApplySteals(PartitionReads(n, s, ShardContiguous), rawLog)
+		if !reflect.DeepEqual(replay, queues) {
+			t.Fatalf("S=%d n=%d: replayed steal log diverges from planner queues", s, n)
+		}
+		if len(log) != len(rawLog) {
+			t.Fatalf("PlanBalanced log length %d != planner log length %d", len(log), len(rawLog))
+		}
+
+		// Hostile events: decode whatever trails the cost bytes and
+		// replay it — the cover must survive arbitrary schedules.
+		var events []StealEvent
+		for b := rest[n:]; len(b) >= 3; b = b[3:] {
+			events = append(events, StealEvent{
+				Victim: int(b[0]) - 8, // routinely negative / past s
+				Thief:  int(b[1]) % 24,
+				Count:  int(b[2]) - 4, // routinely negative / oversized
+			})
+		}
+		checkCover(t, ApplySteals(parts, events), n)
+	})
+}
+
+// checkCover fails unless parts is an exact disjoint cover of [0, n).
+// Mirrors assertCover but lives here so the fuzz target stays
+// self-contained when minimized corpora are triaged.
+func checkCover(t *testing.T, parts [][]int, n int) {
+	t.Helper()
+	seen := make([]bool, n)
+	for _, p := range parts {
+		for _, g := range p {
+			if g < 0 || g >= n || seen[g] {
+				t.Fatalf("bad or duplicate index %d", g)
+			}
+			seen[g] = true
+		}
+	}
+	for g, ok := range seen {
+		if !ok {
+			t.Fatalf("index %d unassigned", g)
+		}
+	}
+}

@@ -205,20 +205,25 @@ func (m *Memo) ExtendHitCost(oriented seq.Seq, h core.Hit) (core.Extension, pipe
 func (m *Memo) Options() pipeline.Options { return m.ext.Options() }
 
 // ShardViews derives one replay cache per shard of the memoized
-// workload under (pol, s): view i holds shard i's reads re-indexed to
-// the shard-local space, with every cached hit's and extension's
-// ReadIdx remapped accordingly, so a shard System replays exactly as
-// an unsharded System replays the full cache. Views share the parent's
-// immutable per-read payloads (hits are copied for the remap; stats,
-// reverse complements, and extension results alias the parent) and are
-// memoized per (pol, s), so repeated sharded runs over one memo pay
-// the derivation once. The returned views carry the parent's plan
-// keying; callers re-key shallow copies per shard plan.
+// workload under (pol, s): view i holds the reads of parts[i]
+// re-indexed to the shard-local space, with every cached hit's and
+// extension's ReadIdx remapped accordingly, so a shard System replays
+// exactly as an unsharded System replays the full cache. The caller
+// supplies the partition because the balanced policy's parts are
+// cost-derived (PlanBalanced), not index-derived; memoization stays
+// keyed on (pol, s) alone, which is sound because every policy's
+// partition — balanced included — is a pure function of (workload,
+// pol, s) and the memo is pinned to one workload. Views share the
+// parent's immutable per-read payloads (hits are copied for the remap;
+// stats, reverse complements, and extension results alias the parent)
+// and are memoized per (pol, s), so repeated sharded runs over one
+// memo pay the derivation once. The returned views carry the parent's
+// plan keying; callers re-key shallow copies per shard plan.
 //
 // Concurrency: safe for concurrent use after BuildMemo, like every
 // other Memo method. nil for s <= 1 or a memo not built by BuildMemo.
-func (m *Memo) ShardViews(pol ShardPolicy, s int) []*Memo {
-	if m == nil || m.shards == nil || s <= 1 {
+func (m *Memo) ShardViews(pol ShardPolicy, s int, parts [][]int) []*Memo {
+	if m == nil || m.shards == nil || s <= 1 || len(parts) != s {
 		return nil
 	}
 	m.shards.mu.Lock()
@@ -227,7 +232,6 @@ func (m *Memo) ShardViews(pol ShardPolicy, s int) []*Memo {
 	if v, ok := m.shards.views[key]; ok {
 		return v
 	}
-	parts := PartitionReads(len(m.reads), s, pol)
 	views := make([]*Memo, s)
 	for i, part := range parts {
 		v := &Memo{

@@ -28,6 +28,13 @@ import (
 //     contributes idle capacity only for the cycles it actually ran —
 //     its chip is off afterwards, matching the replicated-domain
 //     reading of the paper's Coordinator.
+//   - SUUtilMakespan, EUUtilMakespan: the same busy unit-cycles
+//     normalized by S × makespan — the cluster-level view in which an
+//     early-drained chip idles (rather than powers off) until the
+//     slowest shard finishes. The cycle-weighted figures understate
+//     the cost of imbalance (idle tails simply leave the denominator);
+//     these do not, which is why the scale-out balance floor guards
+//     them.
 //   - EUPEUtil: task-weighted mean (weighted by TotalHits), mirroring
 //     the per-task weighting inside System.report.
 //   - Energy: joules sum; Seconds spans the makespan; PerReadJ and
@@ -37,6 +44,7 @@ import (
 // ShardedSystem.merge (they need the shard→global index mapping).
 type MergeAcc struct {
 	reads, totalHits, switches int
+	shards                     int
 	maxCycles                  int64
 	cycleSum                   float64
 	suUtilW, euUtilW           float64
@@ -58,6 +66,7 @@ func NewMergeAcc() *MergeAcc { return &MergeAcc{} }
 // Reset zeroes the accumulator in place, retaining vector capacity.
 func (a *MergeAcc) Reset() {
 	a.reads, a.totalHits, a.switches = 0, 0, 0
+	a.shards = 0
 	a.maxCycles = 0
 	a.cycleSum = 0
 	a.suUtilW, a.euUtilW = 0, 0
@@ -107,6 +116,7 @@ func (a *MergeAcc) Add(rep *Report) {
 	a.reads += rep.Reads
 	a.totalHits += rep.TotalHits
 	a.switches += rep.Switches
+	a.shards++
 	if rep.Cycles > a.maxCycles {
 		a.maxCycles = rep.Cycles
 	}
@@ -207,6 +217,14 @@ func (a *MergeAcc) Merged(clockGHz float64) *Report {
 	if a.peWTotal > 0 {
 		r.EUPEUtil = a.peUtilW / a.peWTotal
 	}
+	// Makespan-normalized utilizations: busy unit-cycles (suUtilW is
+	// Σ shard-mean-util × shard-cycles) over S chips × makespan of
+	// capacity.
+	if a.shards > 0 && a.maxCycles > 0 {
+		capacity := float64(a.shards) * float64(a.maxCycles)
+		r.SUUtilMakespan = a.suUtilW / capacity
+		r.EUUtilMakespan = a.euUtilW / capacity
+	}
 	return r
 }
 
@@ -219,6 +237,7 @@ func (a *MergeAcc) Merged(clockGHz float64) *Report {
 // not just approximately — on every float.
 func MergeReportsReference(reps []*Report, clockGHz float64) *Report {
 	r := &Report{}
+	var shards int
 	var maxCycles int64
 	var cycleSum, suW, euW, peW, peTot float64
 	var suSeries, euSeries, perClassW []float64
@@ -231,6 +250,7 @@ func MergeReportsReference(reps []*Report, clockGHz float64) *Report {
 		r.Reads += rep.Reads
 		r.TotalHits += rep.TotalHits
 		r.Switches += rep.Switches
+		shards++
 		if rep.Cycles > maxCycles {
 			maxCycles = rep.Cycles
 		}
@@ -310,6 +330,11 @@ func MergeReportsReference(reps []*Report, clockGHz float64) *Report {
 	}
 	if peTot > 0 {
 		r.EUPEUtil = peW / peTot
+	}
+	if shards > 0 && maxCycles > 0 {
+		capacity := float64(shards) * float64(maxCycles)
+		r.SUUtilMakespan = suW / capacity
+		r.EUUtilMakespan = euW / capacity
 	}
 	return r
 }

@@ -25,8 +25,18 @@ type Report struct {
 	// the configured clock.
 	ThroughputReadsPerSec float64
 	// SUUtil and EUUtil are average unit utilizations over the run
-	// (the Fig. 12 headline numbers).
+	// (the Fig. 12 headline numbers). On a merged scale-out Report
+	// they are cycle-weighted: a shard that drains early contributes
+	// capacity only for the cycles it ran, as if its chip powered off.
 	SUUtil, EUUtil float64
+	// SUUtilMakespan and EUUtilMakespan normalize the same busy
+	// unit-cycles by the capacity of all S chips over the merged
+	// makespan (S × Cycles): an early-drained shard counts as idle
+	// capacity until the slowest shard finishes. This is the honest
+	// cluster-level utilization the scale-out balance floor guards; on
+	// a single chip both weightings coincide, so unsharded Reports
+	// carry identical values in both pairs.
+	SUUtilMakespan, EUUtilMakespan float64
 	// SUSeries and EUSeries are utilization time series (Fig. 12
 	// curves).
 	SUSeries, EUSeries []float64
@@ -54,6 +64,10 @@ type Report struct {
 	// watchdog diagnosis. nil on fault-free runs without a watchdog
 	// trip, so existing Reports are unchanged byte-for-byte.
 	Faults *fault.Summary `json:",omitempty"`
+	// StealLog is the balanced policy's resolved steal schedule, in
+	// resolution order (see StealEvent). Empty under the static
+	// policies and on unsharded runs, so those Reports are unchanged.
+	StealLog []StealEvent `json:",omitempty"`
 }
 
 func (s *System) report(end int64) *Report {
@@ -82,6 +96,10 @@ func (s *System) report(end int64) *Report {
 	}
 	r.SUUtil = sim.GroupUtilization(suT, 0, end)
 	r.EUUtil = sim.GroupUtilization(euT, 0, end)
+	// One chip: the capacity window is the makespan itself, so the
+	// cycle-weighted and makespan-normalized figures coincide.
+	r.SUUtilMakespan = r.SUUtil
+	r.EUUtilMakespan = r.EUUtil
 	r.SUSeries = sim.GroupSeries(suT, end, s.opts.TraceBuckets)
 	r.EUSeries = sim.GroupSeries(euT, end, s.opts.TraceBuckets)
 

@@ -25,6 +25,14 @@ const (
 	// g mod S), resisting skew when expensive reads cluster in the
 	// input (the SaLoBa-style balance-over-locality trade).
 	ShardInterleaved
+	// ShardBalanced starts from the contiguous assignment and
+	// rebalances it with the deterministic work-stealing planner
+	// (rebalance.go): per-read costs are estimated with a seed-density
+	// probe of the FM-index, and idle shards steal trailing read
+	// ranges from the heaviest shard at fixed epoch boundaries. The
+	// resulting partition — and therefore the merged Report — is a
+	// pure function of (workload, shard count).
+	ShardBalanced
 )
 
 // String names the policy.
@@ -34,6 +42,8 @@ func (p ShardPolicy) String() string {
 		return "contiguous"
 	case ShardInterleaved:
 		return "interleaved"
+	case ShardBalanced:
+		return "balanced"
 	default:
 		return fmt.Sprintf("policy(%d)", int(p))
 	}
@@ -46,15 +56,19 @@ func ParseShardPolicy(s string) (ShardPolicy, error) {
 		return ShardContiguous, nil
 	case "interleaved":
 		return ShardInterleaved, nil
+	case "balanced":
+		return ShardBalanced, nil
 	default:
-		return 0, fmt.Errorf("accel: unknown shard policy %q (want contiguous or interleaved)", s)
+		return 0, fmt.Errorf("accel: unknown shard policy %q (valid policies: contiguous, interleaved, balanced)", s)
 	}
 }
 
 // PartitionReads deterministically partitions read indices [0, n) into
 // shards parts under the policy. Every index appears in exactly one
 // part; parts differ in size by at most one; the result is a pure
-// function of (n, shards, pol).
+// function of (n, shards, pol). ShardBalanced maps to the contiguous
+// layout here — it is the initial assignment the steal planner
+// rebalances; cost-aware partitions come from PlanBalanced.
 func PartitionReads(n, shards int, pol ShardPolicy) [][]int {
 	if shards < 1 {
 		shards = 1
@@ -104,8 +118,9 @@ type ShardedOptions struct {
 	// the per-shard observers merge into; Watchdog is shared across
 	// shards (it is read-only during a run).
 	Options
-	// Shards is the shard count S. <= 1 means a single unsharded
-	// system (the byte-identical fallthrough).
+	// Shards is the shard count S; it must be >= 1. Exactly 1 means a
+	// single unsharded system (the byte-identical fallthrough);
+	// anything below 1 is rejected by NewSharded.
 	Shards int
 	// Policy is the read-partitioning policy.
 	Policy ShardPolicy
@@ -132,7 +147,7 @@ type ShardedSystem struct {
 // NewSharded builds a sharded system over an existing aligner.
 func NewSharded(aligner *pipeline.Aligner, opts ShardedOptions) (*ShardedSystem, error) {
 	if opts.Shards < 1 {
-		opts.Shards = 1
+		return nil, fmt.Errorf("accel: invalid shard count %d (want >= 1; 1 runs unsharded)", opts.Shards)
 	}
 	if err := opts.Config.Validate(); err != nil {
 		return nil, err
@@ -140,8 +155,10 @@ func NewSharded(aligner *pipeline.Aligner, opts ShardedOptions) (*ShardedSystem,
 	if err := opts.Faults.Validate(); err != nil {
 		return nil, err
 	}
-	if opts.Policy != ShardContiguous && opts.Policy != ShardInterleaved {
-		return nil, fmt.Errorf("accel: invalid shard policy %d", int(opts.Policy))
+	switch opts.Policy {
+	case ShardContiguous, ShardInterleaved, ShardBalanced:
+	default:
+		return nil, fmt.Errorf("accel: invalid shard policy %d (valid policies: contiguous, interleaved, balanced)", int(opts.Policy))
 	}
 	return &ShardedSystem{opts: opts, aligner: aligner, acc: NewMergeAcc()}, nil
 }
@@ -188,7 +205,17 @@ func (ss *ShardedSystem) RunDetailed(reads []seq.Seq) (*Report, []*Report, error
 	}
 
 	s := o.Shards
-	parts := PartitionReads(len(reads), s, o.Policy)
+	var parts [][]int
+	var stealLog []StealEvent
+	if o.Policy == ShardBalanced {
+		// The whole steal schedule is resolved in estimate space before
+		// any shard simulates, so the partition is a pure function of
+		// (workload, S) and the worker pool below cannot perturb it.
+		costs := EstimateReadCosts(ss.aligner, reads, o.Workers)
+		parts, stealLog = PlanBalanced(costs, s)
+	} else {
+		parts = PartitionReads(len(reads), s, o.Policy)
+	}
 	plans := fault.PartitionPlan(o.Faults, s, o.Config.NumSUs, o.Config.TotalEUs())
 
 	// Per-shard memo views: derived only when the parent memo covers
@@ -197,7 +224,7 @@ func (ss *ShardedSystem) RunDetailed(reads []seq.Seq) (*Report, []*Report, error
 	// survives sharding.
 	var views []*Memo
 	if o.Memo != nil && len(o.Memo.Reads()) == len(reads) && o.Memo.CoversPlan(o.Faults.Hash()) {
-		views = o.Memo.ShardViews(o.Policy, s)
+		views = o.Memo.ShardViews(o.Policy, s, parts)
 	}
 
 	shardReads := make([][]seq.Seq, s)
@@ -273,7 +300,7 @@ func (ss *ShardedSystem) RunDetailed(reads []seq.Seq) (*Report, []*Report, error
 		}
 	}
 	runErr := errors.Join(errs...)
-	merged := ss.merge(reads, reps, parts, shardObs, runErr)
+	merged := ss.merge(reads, reps, parts, stealLog, shardObs, runErr)
 	return merged, reps, runErr
 }
 
@@ -282,7 +309,7 @@ func (ss *ShardedSystem) RunDetailed(reads []seq.Seq) (*Report, []*Report, error
 // back to global indices, merges fault ledgers and observer state, and
 // closes the cross-shard conservation invariant.
 func (ss *ShardedSystem) merge(reads []seq.Seq, reps []*Report, parts [][]int,
-	shardObs []*obs.Observer, runErr error) *Report {
+	stealLog []StealEvent, shardObs []*obs.Observer, runErr error) *Report {
 	o := ss.opts
 	acc := ss.acc
 	acc.Reset()
@@ -291,6 +318,7 @@ func (ss *ShardedSystem) merge(reads []seq.Seq, reps []*Report, parts [][]int,
 	}
 	merged := acc.Merged(o.Config.ClockGHz)
 	merged.Description = ss.Describe()
+	merged.StealLog = stealLog
 
 	// Exact scatter: shard-local per-read results and hit ledgers back
 	// onto the global index space, in shard order.
@@ -343,6 +371,18 @@ func (ss *ShardedSystem) merge(reads []seq.Seq, reps []*Report, parts [][]int,
 		}
 		if runErr == nil {
 			parent.Inv.CheckShardConservation(int64(merged.TotalHits), ledgers)
+			// Read-routing conservation: every read — stolen or not —
+			// is assigned to exactly one shard and simulated by the
+			// shard it was assigned to.
+			assigned := make([]int64, len(parts))
+			executed := make([]int64, len(reps))
+			for i, p := range parts {
+				assigned[i] = int64(len(p))
+			}
+			for i, rep := range reps {
+				executed[i] = int64(rep.Reads)
+			}
+			parent.Inv.CheckShardCover(int64(len(reads)), assigned, executed)
 		}
 		finalizeMergedObs(parent, merged)
 	}

@@ -2,6 +2,7 @@ package accel
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"nvwa/internal/fault"
@@ -60,14 +61,26 @@ func TestParseShardPolicy(t *testing.T) {
 	for _, tc := range []struct {
 		in   string
 		want ShardPolicy
-	}{{"contiguous", ShardContiguous}, {"interleaved", ShardInterleaved}} {
+	}{
+		{"contiguous", ShardContiguous},
+		{"interleaved", ShardInterleaved},
+		{"balanced", ShardBalanced},
+	} {
 		got, err := ParseShardPolicy(tc.in)
 		if err != nil || got != tc.want {
 			t.Errorf("ParseShardPolicy(%q) = %v, %v", tc.in, got, err)
 		}
 	}
-	if _, err := ParseShardPolicy("zigzag"); err == nil {
-		t.Error("ParseShardPolicy accepted garbage")
+	_, err := ParseShardPolicy("zigzag")
+	if err == nil {
+		t.Fatal("ParseShardPolicy accepted garbage")
+	}
+	// The rejection must name every valid policy, so a user holding only
+	// the error can fix their flag.
+	for _, name := range []string{"contiguous", "interleaved", "balanced"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("ParseShardPolicy error %q does not mention %q", err, name)
+		}
 	}
 }
 
@@ -104,7 +117,7 @@ func TestShardedOneShardIdenticalToUnsharded(t *testing.T) {
 func TestShardedInvariantToWorkers(t *testing.T) {
 	t.Parallel()
 	a, reads := testWorkload(t, 240, 5)
-	for _, pol := range []ShardPolicy{ShardContiguous, ShardInterleaved} {
+	for _, pol := range []ShardPolicy{ShardContiguous, ShardInterleaved, ShardBalanced} {
 		for _, s := range []int{2, 4, 8} {
 			var base *Report
 			var baseParts []*Report
@@ -391,5 +404,11 @@ func TestNewShardedRejectsBadOptions(t *testing.T) {
 	}
 	if _, err := NewSharded(a, ShardedOptions{Options: smallOpts(), Shards: 2, Policy: ShardPolicy(9)}); err == nil {
 		t.Error("NewSharded accepted invalid policy")
+	}
+	if _, err := NewSharded(a, ShardedOptions{Options: smallOpts(), Shards: 0}); err == nil {
+		t.Error("NewSharded accepted shards=0")
+	}
+	if _, err := NewSharded(a, ShardedOptions{Options: smallOpts(), Shards: -3}); err == nil {
+		t.Error("NewSharded accepted negative shard count")
 	}
 }

@@ -26,8 +26,17 @@ type ScaleoutRow struct {
 	Cycles, MaxShardCycles, MinShardCycles int64
 	// ThroughputReadsPerSec is the merged aggregate throughput.
 	ThroughputReadsPerSec float64
-	// SUUtil and EUUtil are the capacity-weighted merged utilizations.
+	// SUUtil and EUUtil are the cycle-weighted merged utilizations
+	// (an early-drained chip counts as powered off once it finishes).
 	SUUtil, EUUtil float64
+	// SUUtilMakespan and EUUtilMakespan normalize the same busy
+	// unit-cycles by S × makespan: an early-drained chip counts as
+	// idle capacity until the slowest shard finishes, so these expose
+	// the imbalance the cycle-weighted pair partially hides.
+	SUUtilMakespan, EUUtilMakespan float64
+	// Steals is the number of resolved steal events (balanced policy
+	// only; zero under the static policies).
+	Steals int
 }
 
 // ScaleoutResult is the scale-out sweep: one row per shard count, all
@@ -89,6 +98,9 @@ func scaleoutRun(env *Env, shards int, pol accel.ShardPolicy, r *Runner) Scaleou
 		ThroughputReadsPerSec: merged.ThroughputReadsPerSec,
 		SUUtil:                merged.SUUtil,
 		EUUtil:                merged.EUUtil,
+		SUUtilMakespan:        merged.SUUtilMakespan,
+		EUUtilMakespan:        merged.EUUtilMakespan,
+		Steals:                len(merged.StealLog),
 	}
 	for _, p := range parts {
 		if p.Cycles > row.MaxShardCycles {
@@ -105,8 +117,9 @@ func scaleoutRun(env *Env, shards int, pol accel.ShardPolicy, r *Runner) Scaleou
 func (r ScaleoutResult) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Scale-out — aggregate throughput vs shard count (%s partitioning)\n", r.Policy)
-	fmt.Fprintf(&b, "  %6s %10s %10s %10s %6s %12s %7s %7s\n",
-		"shards", "makespan", "min-shard", "max-shard", "skew", "reads/s", "su-util", "eu-util")
+	fmt.Fprintf(&b, "  %6s %10s %10s %10s %6s %12s %7s %7s %7s %7s %6s\n",
+		"shards", "makespan", "min-shard", "max-shard", "skew", "reads/s",
+		"su-util", "eu-util", "su-mksp", "eu-mksp", "steals")
 	var base float64
 	for _, row := range r.Rows {
 		skew := 1.0
@@ -120,9 +133,10 @@ func (r ScaleoutResult) Format() string {
 		if base > 0 {
 			speed = row.ThroughputReadsPerSec / base
 		}
-		fmt.Fprintf(&b, "  %6d %10d %10d %10d %5.2fx %12.0f %7.3f %7.3f  (%.2fx)\n",
+		fmt.Fprintf(&b, "  %6d %10d %10d %10d %5.2fx %12.0f %7.3f %7.3f %7.3f %7.3f %6d  (%.2fx)\n",
 			row.Shards, row.Cycles, row.MinShardCycles, row.MaxShardCycles, skew,
-			row.ThroughputReadsPerSec, row.SUUtil, row.EUUtil, speed)
+			row.ThroughputReadsPerSec, row.SUUtil, row.EUUtil,
+			row.SUUtilMakespan, row.EUUtilMakespan, row.Steals, speed)
 	}
 	return b.String()
 }

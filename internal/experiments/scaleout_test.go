@@ -14,7 +14,7 @@ func TestScaleoutDeterministic(t *testing.T) {
 	t.Parallel()
 	env := getEnv(t)
 	counts := []int{1, 2, 4}
-	for _, pol := range []accel.ShardPolicy{accel.ShardContiguous, accel.ShardInterleaved} {
+	for _, pol := range []accel.ShardPolicy{accel.ShardContiguous, accel.ShardInterleaved, accel.ShardBalanced} {
 		ser := Scaleout(env, counts, pol, Serial())
 		par := Scaleout(env, counts, pol, NewRunner(4))
 		if !reflect.DeepEqual(ser, par) {

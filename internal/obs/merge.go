@@ -204,3 +204,33 @@ func (v *Invariants) CheckShardConservation(totalHits int64, parts []Ledger) {
 			sum.Requeued, sum.Retried, sum.DeadLettered)
 	}
 }
+
+// CheckShardCover closes the read-routing equation after a shard
+// merge: every read is assigned to exactly one shard (Σ assigned ==
+// totalReads) and each shard simulated exactly the reads it was
+// assigned (assigned[i] == executed[i]). Under the balanced policy a
+// stolen read is assigned to — and therefore counted on — its thief
+// only, so the equation holds exactly when stealing moves reads and
+// breaks if a steal ever duplicates or drops one.
+func (v *Invariants) CheckShardCover(totalReads int64, assigned, executed []int64) {
+	if v == nil {
+		return
+	}
+	v.checked++
+	if len(assigned) != len(executed) {
+		v.violate("shard cover: %d assignments for %d shard reports", len(assigned), len(executed))
+		return
+	}
+	var sum int64
+	for i := range assigned {
+		sum += assigned[i]
+		if assigned[i] != executed[i] {
+			v.violate("shard cover: shard %d assigned %d reads but simulated %d",
+				i, assigned[i], executed[i])
+		}
+	}
+	if sum != totalReads {
+		v.violate("shard cover open: Σ assigned %d != total reads %d (a steal duplicated or dropped a read)",
+			sum, totalReads)
+	}
+}

@@ -84,6 +84,9 @@ type (
 	ShardedOptions = accel.ShardedOptions
 	// ShardPolicy selects how reads are partitioned across shards.
 	ShardPolicy = accel.ShardPolicy
+	// StealEvent is one resolved work steal of the balanced shard
+	// policy, as recorded in Report.StealLog.
+	StealEvent = accel.StealEvent
 )
 
 // Shard partitioning policies.
@@ -93,9 +96,16 @@ const (
 	// ShardInterleaved deals reads round-robin, fighting partition skew
 	// on sorted or otherwise non-stationary read sets.
 	ShardInterleaved = accel.ShardInterleaved
+	// ShardBalanced rebalances the contiguous assignment with a
+	// deterministic work-stealing planner over FM-index seed-density
+	// cost estimates: idle shards steal trailing read ranges from the
+	// heaviest shard at fixed epoch boundaries, killing the makespan
+	// tail while the merged Report stays a pure function of
+	// (workload, shard count).
+	ShardBalanced = accel.ShardBalanced
 )
 
-// ParseShardPolicy decodes "contiguous" or "interleaved".
+// ParseShardPolicy decodes "contiguous", "interleaved", or "balanced".
 func ParseShardPolicy(s string) (ShardPolicy, error) { return accel.ParseShardPolicy(s) }
 
 // NewShardedAccelerator builds a sharded multi-chip scale-out system
@@ -107,8 +117,9 @@ func NewShardedAccelerator(a *Aligner, opts ShardedOptions) (*ShardedAccelerator
 // ShardedRun partitions reads into shards chips under pol, simulates
 // every shard concurrently (workers <= 0 means GOMAXPROCS), and returns
 // the deterministically merged Report: max-cycle makespan, aggregate
-// throughput, capacity-weighted utilizations, and summed ledgers. With
-// shards <= 1 the result is byte-identical to an unsharded Run.
+// throughput, capacity-weighted utilizations, and summed ledgers.
+// shards must be >= 1; with shards == 1 the result is byte-identical
+// to an unsharded Run.
 func ShardedRun(a *Aligner, opts Options, reads []Sequence, shards int, pol ShardPolicy, workers int) (*Report, error) {
 	sys, err := accel.NewSharded(a, accel.ShardedOptions{
 		Options: opts, Shards: shards, Policy: pol, Workers: workers,

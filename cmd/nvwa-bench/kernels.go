@@ -87,16 +87,37 @@ func runKernelBench(path string) error {
 	return nil
 }
 
+// Absolute floors enforced by -kernels-check on top of the relative
+// per-kernel regression tolerance. Both are before/after ratios
+// measured in one process on one machine, so they are
+// machine-independent signals the check can gate on absolutely.
+const (
+	// minEndToEndSpeedup is the floor on the pipeline.Align
+	// end-to-end row: the optimized kernels must hold at least this
+	// speedup over the retained reference kernels.
+	minEndToEndSpeedup = 1.5
+	// minDispatchSpeedup is the floor on the accel.Dispatch row:
+	// batched dispatch must never lose to the per-hit reference
+	// dispatcher it is pinned byte-identical to.
+	minDispatchSpeedup = 1.0
+)
+
+// dispatchKernel is the batched-dispatch row's kernel id.
+const dispatchKernel = "accel.Dispatch/full-system"
+
 // checkKernelBench measures the suite fresh and compares it against a
 // committed baseline file. Absolute ns/op is machine-dependent, so the
 // guardrail compares the machine-independent signals instead:
 //
 //   - allocs/op of the optimized kernel must not exceed the baseline's
-//     (any new steady-state allocation is a regression), and
+//     (any new steady-state allocation is a regression),
 //   - each kernel's before/after speedup, measured in the same run on
 //     the same machine, must stay within tol of the baseline's (a
 //     larger drop means the optimized kernel lost ground against the
-//     reference implementation compiled from the same tree).
+//     reference implementation compiled from the same tree),
+//   - the end-to-end row must hold the absolute minEndToEndSpeedup
+//     floor, and the batched-dispatch row the minDispatchSpeedup
+//     floor, regardless of what the baseline file recorded.
 func checkKernelBench(baselinePath string, tol float64) error {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -126,6 +147,16 @@ func checkKernelBench(baselinePath string, tol float64) error {
 				"%s: speedup regressed %.2fx -> %.2fx (floor %.2fx at tol %.0f%%)",
 				r.Kernel, b.Speedup, r.Speedup, floor, tol*100))
 		}
+		if r.Kernel == dispatchKernel && r.Speedup < minDispatchSpeedup {
+			failures = append(failures, fmt.Sprintf(
+				"%s: batched dispatch lost to the per-hit reference (%.2fx < %.2fx floor)",
+				r.Kernel, r.Speedup, minDispatchSpeedup))
+		}
+	}
+	if fresh.EndToEndSpeedup < minEndToEndSpeedup {
+		failures = append(failures, fmt.Sprintf(
+			"end_to_end_speedup %.2fx below the %.2fx floor",
+			fresh.EndToEndSpeedup, minEndToEndSpeedup))
 	}
 	for k := range baseRows {
 		found := false

@@ -1,0 +1,193 @@
+package accel
+
+import (
+	"math/bits"
+
+	"nvwa/internal/coordinator"
+	"nvwa/internal/core"
+	"nvwa/internal/eu"
+	"nvwa/internal/pipeline"
+	"nvwa/internal/seq"
+)
+
+// Batched dispatch (Options.Batched) executes each allocation round's
+// assignments as one pooled hit vector instead of one scheduled event
+// per hit, the way the HLS exemplars batch JOBS_PER_BATCH alignments
+// per kernel invocation. The per-hit path stays in run.go verbatim as
+// the retained reference dispatcher; the two are pinned byte-identical
+// by the differential suite in batch_test.go. Identity holds by
+// construction, not by luck:
+//
+//   - Seq reservation. Per-hit dispatch consumes N consecutive engine
+//     sequence numbers pushing N completion events. The batched round
+//     reserves the same N up front (sim.ReserveSeqs) and keeps a
+//     single chained task resident in the heap, re-pushing itself at
+//     each completion's exact (cycle, seq) via AtTaskSeq — so the
+//     global event order is the per-hit order, event for event.
+//   - Same side-effect order. The vector loop executes assignments in
+//     assignment order, touching the memo, observer, and fault
+//     injector exactly where the per-hit loop would.
+//   - O(1) trigger consults. The per-completion Allocate Trigger
+//     consult reads the maintained idle-EU counter instead of
+//     re-scanning the whole pool — the scan is the dominant per-
+//     completion cost at 70 EUs, and it runs once per completion plus
+//     once per fired round.
+type batchEntry struct {
+	u    *eu.Unit
+	done int64
+	seq  int64
+	idx  int32 // index into the chain's parallel extension vector
+}
+
+// batchTask is the pooled event payload for a whole dispatch round's
+// completion vector: it fires once per entry in (done, seq) order,
+// re-arming itself with the next entry's reserved position, and
+// recycles itself after the last. Extension results live in a parallel
+// vector indexed by batchEntry.idx so the sort moves 32-byte keys, not
+// whole Extension records.
+type batchTask struct {
+	s       *System
+	entries []batchEntry
+	exts    []core.Extension
+	next    int
+}
+
+// Fire implements sim.Task. Consecutive entries that complete at the
+// same cycle are fired inline without a heap round-trip: the reserved
+// sequence numbers between two same-cycle neighbours all belong to
+// already-fired entries of this chain (reservation blocks are
+// disjoint, and events scheduled during processing draw fresh, higher
+// seqs), so no other event can be ordered between them — the global
+// side-effect order is still exactly the per-hit order.
+func (t *batchTask) Fire() {
+	s := t.s
+	for {
+		e := t.entries[t.next]
+		ext := t.exts[e.idx]
+		t.next++
+		if t.next == len(t.entries) {
+			t.entries = t.entries[:0]
+			t.exts = t.exts[:0]
+			t.next = 0
+			s.batchFree = append(s.batchFree, t)
+			s.euDone(e.u, ext)
+			return
+		}
+		if n := t.entries[t.next]; n.done != e.done {
+			s.eng.AtTaskSeq(n.done, n.seq, t)
+			s.euDone(e.u, ext)
+			return
+		}
+		s.euDone(e.u, ext)
+	}
+}
+
+// getBatchTask takes a task from the freelist or allocates one, with
+// both vectors pre-sized to the allocation window (a round never
+// assigns more than AllocBatch hits).
+func (s *System) getBatchTask() *batchTask {
+	if n := len(s.batchFree); n > 0 {
+		t := s.batchFree[n-1]
+		s.batchFree = s.batchFree[:n-1]
+		return t
+	}
+	n := s.opts.Config.AllocBatch
+	return &batchTask{
+		s:       s,
+		entries: make([]batchEntry, 0, n),
+		exts:    make([]core.Extension, 0, n),
+	}
+}
+
+// dispatchBatch starts one round's extension tasks as a single pooled
+// vector. It mirrors dispatch() per assignment — same execute, memo,
+// observer, and fault-stall order — then sorts the completion vector
+// into (done, seq) order and arms the chained task at the first slot.
+func (s *System) dispatchBatch(assigned []coordinator.Assignment) {
+	now := s.eng.Now()
+	t := s.getBatchTask()
+	base := s.eng.ReserveSeqs(len(assigned))
+	entries := t.entries[:0]
+	exts := t.exts[:0]
+	for i, a := range assigned {
+		u := s.eus[a.Unit.ID]
+		if o := s.opts.Obs; o != nil {
+			o.MemoLookup(s.memo != nil)
+		}
+		var oriented seq.Seq
+		if s.memo != nil {
+			oriented = s.memo.Oriented(a.Hit.ReadIdx, a.Hit.Rev)
+		} else {
+			oriented = pipeline.Orient(s.reads[a.Hit.ReadIdx], a.Hit.Rev)
+		}
+		ext, done := u.Execute(now, oriented, a.Hit)
+		if s.flt != nil {
+			if d := s.flt.inj.TakeEUStall(u.ID()); d > 0 {
+				done += d
+			}
+		}
+		entries = append(entries, batchEntry{u: u, done: done, seq: base + int64(i), idx: int32(i)})
+		exts = append(exts, ext)
+	}
+	t.entries, t.exts = entries, exts
+	sortBatch(entries)
+	s.eng.AtTaskSeq(entries[0].done, entries[0].seq, t)
+}
+
+// sortBatch orders a completion vector by (done, seq) — the engine
+// heap's total order. Insertion sort: vectors are at most AllocBatch
+// entries, nearly sorted already (seqs ascend in assignment order),
+// and the hot path must not allocate (sort.Sort would box the slice).
+func sortBatch(e []batchEntry) {
+	for i := 1; i < len(e); i++ {
+		for j := i; j > 0 && (e[j].done < e[j-1].done ||
+			(e[j].done == e[j-1].done && e[j].seq < e[j-1].seq)); j-- {
+			e[j], e[j-1] = e[j-1], e[j]
+		}
+	}
+}
+
+// euSetBusy, euSetIdle, and euStopIdle wrap the EU state transitions
+// so the idle-pool counter and bitmask behind the batched dispatch
+// path stay exact. Both are maintained in both dispatch modes (the
+// transitions are identical); only the batched path reads them.
+func (s *System) euSetBusy(u *eu.Unit, now int64) {
+	s.idleEUCount--
+	id := u.ID()
+	s.idleMask[id>>6] &^= 1 << (uint(id) & 63)
+	u.SetBusy(now)
+}
+
+func (s *System) euSetIdle(u *eu.Unit, now int64) {
+	s.idleEUCount++
+	id := u.ID()
+	s.idleMask[id>>6] |= 1 << (uint(id) & 63)
+	u.SetIdle(now)
+}
+
+// euStopIdle parks a currently idle unit (fault degradation).
+func (s *System) euStopIdle(u *eu.Unit) {
+	s.idleEUCount--
+	id := u.ID()
+	s.idleMask[id>>6] &^= 1 << (uint(id) & 63)
+	u.Stop()
+}
+
+// idleEUsMask rebuilds the idle-unit list from the maintained bitmask
+// instead of scanning every unit's state — the batched path's round
+// setup. The list is identical to idleEUs(): bits iterate in ID order
+// and the per-ID descriptors are fixed at construction. Like idleEUs,
+// the returned slice aliases the per-system scratch buffer.
+func (s *System) idleEUsMask() []coordinator.IdleUnit {
+	idle := s.idleBuf[:0]
+	for w, word := range s.idleMask {
+		base := w << 6
+		for word != 0 {
+			id := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			idle = append(idle, s.euTable[id])
+		}
+	}
+	s.idleBuf = idle
+	return idle
+}

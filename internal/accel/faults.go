@@ -21,13 +21,23 @@ const maxRetryAttempts = 5
 const retryBackoffCap = 8192
 
 // retryBackoff returns the exponential backoff (in cycles) before
-// scheduling attempt n (1-based): 64, 128, 256, ... capped.
+// scheduling attempt n (1-based): 64, 128, 256, ... capped. Both
+// sides of the shift are clamped: attempt <= 1 gets the base delay (a
+// negative shift count panics at runtime), and any shift that could
+// wrap int64 (or merely exceed the cap) returns the cap, so callers
+// may pass any attempt count without overflow checks of their own.
 func retryBackoff(attempt int) int64 {
-	d := int64(64) << (attempt - 1)
-	if d > retryBackoffCap || d <= 0 {
-		d = retryBackoffCap
+	const base = int64(64)
+	shift := attempt - 1
+	if shift <= 0 {
+		return base
 	}
-	return d
+	// Shifts past 56 would wrap base (= 2^6) out of int64 before the
+	// cap comparison could see it; everything that large caps anyway.
+	if shift > 56 || base<<shift > retryBackoffCap {
+		return retryBackoffCap
+	}
+	return base << shift
 }
 
 // faultState is the degradation-side runtime of one simulation under
@@ -98,7 +108,7 @@ func (s *System) onFaultArmed(ev fault.Event) {
 			s.flt.deadEU[ev.Unit] = true
 			s.flt.aliveEUs--
 			if u := s.eus[ev.Unit]; u.State() == core.Idle {
-				u.Stop() // idle victim leaves the pool immediately
+				s.euStopIdle(u) // idle victim leaves the pool immediately
 			}
 			// A busy victim keeps its in-flight task until completion,
 			// where euDone detects the failure and requeues the hit.
@@ -281,7 +291,7 @@ func (s *System) retryFire(h core.Hit) {
 	if o := s.opts.Obs; o != nil {
 		o.RetryDispatched(now, u.ID())
 	}
-	u.SetBusy(now)
+	s.euSetBusy(u, now)
 	var oriented seq.Seq
 	if s.memo != nil {
 		oriented = s.memo.Oriented(h.ReadIdx, h.Rev)

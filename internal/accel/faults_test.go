@@ -376,3 +376,39 @@ func TestInvalidPlanRejected(t *testing.T) {
 		t.Fatal("invalid fault plan accepted")
 	}
 }
+
+// TestRetryBackoffClamped pins both clamps of the backoff curve: the
+// old `64 << (attempt-1)` panicked on attempt < 1 (negative shift) and
+// wrapped int64 for large attempts, where the wrapped negative was
+// only saved by the <= 0 recheck. Every attempt count must now map to
+// a sane, capped, positive delay.
+func TestRetryBackoffClamped(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		attempt int
+		want    int64
+	}{
+		{-3, 64},  // below the 1-based domain: base delay
+		{0, 64},   // old code: shift by -1 => runtime panic
+		{1, 64},   // first retry
+		{2, 128},  // doubling
+		{5, 1024}, // last in-cap step of the default budget
+		{8, retryBackoffCap},
+		{64, retryBackoffCap}, // old code: full wrap-around shift
+		{1 << 20, retryBackoffCap},
+	}
+	for _, tc := range cases {
+		if got := retryBackoff(tc.attempt); got != tc.want {
+			t.Errorf("retryBackoff(%d) = %d, want %d", tc.attempt, got, tc.want)
+		}
+	}
+	// Monotone and bounded over the whole practical range.
+	prev := int64(0)
+	for n := -1; n <= 128; n++ {
+		d := retryBackoff(n)
+		if d < prev || d <= 0 || d > retryBackoffCap {
+			t.Fatalf("retryBackoff(%d) = %d breaks monotone/bounded (prev %d)", n, d, prev)
+		}
+		prev = d
+	}
+}

@@ -37,6 +37,8 @@ import (
 //     them.
 //   - EUPEUtil: task-weighted mean (weighted by TotalHits), mirroring
 //     the per-task weighting inside System.report.
+//   - Traceback: exact sums — cycles, spills, and spill read-out
+//     cycles are per-task counts with no normalization.
 //   - Energy: joules sum; Seconds spans the makespan; PerReadJ and
 //     AvgPowerW re-derive from the sums.
 //
@@ -53,6 +55,7 @@ type MergeAcc struct {
 	allocOptimal, allocNear    int
 	perClassOpt, perClassTot   []int
 	perClassW                  []float64
+	traceback                  TracebackStats
 	hbm                        mem.Stats
 	energyStatic               float64
 	energyDynamic              float64
@@ -87,6 +90,7 @@ func (a *MergeAcc) Reset() {
 	for i := range a.perClassW {
 		a.perClassW[i] = 0
 	}
+	a.traceback = TracebackStats{}
 	a.hbm = mem.Stats{}
 	a.energyStatic, a.energyDynamic, a.energyHBM, a.energyTotal = 0, 0, 0, 0
 }
@@ -152,6 +156,10 @@ func (a *MergeAcc) Add(rep *Report) {
 		a.perClassW[i] += v * w
 	}
 
+	a.traceback.Cycles += rep.Traceback.Cycles
+	a.traceback.Spills += rep.Traceback.Spills
+	a.traceback.SpillCycles += rep.Traceback.SpillCycles
+
 	a.hbm.Accesses += rep.HBM.Accesses
 	a.hbm.RowHits += rep.HBM.RowHits
 	a.hbm.RowMisses += rep.HBM.RowMisses
@@ -180,7 +188,8 @@ func (a *MergeAcc) Merged(clockGHz float64) *Report {
 			PerClassOptimal: append([]int(nil), a.perClassOpt...),
 			PerClassTotal:   append([]int(nil), a.perClassTot...),
 		},
-		HBM: a.hbm,
+		Traceback: a.traceback,
+		HBM:       a.hbm,
 	}
 	if a.maxCycles > 0 && clockGHz > 0 {
 		hz := clockGHz * 1e9
@@ -283,6 +292,9 @@ func MergeReportsReference(reps []*Report, clockGHz float64) *Report {
 		for i, v := range rep.PerClassEUUtil {
 			perClassW[i] += v * w
 		}
+		r.Traceback.Cycles += rep.Traceback.Cycles
+		r.Traceback.Spills += rep.Traceback.Spills
+		r.Traceback.SpillCycles += rep.Traceback.SpillCycles
 		r.HBM.Accesses += rep.HBM.Accesses
 		r.HBM.RowHits += rep.HBM.RowHits
 		r.HBM.RowMisses += rep.HBM.RowMisses

@@ -53,6 +53,10 @@ type Report struct {
 	Switches int
 	// EUPEUtil is PE-level occupancy inside busy EUs, weighted by PEs.
 	EUPEUtil float64
+	// Traceback aggregates the EU pointer-matrix traceback model over
+	// the run — the cost of producing full CIGARs rather than scores
+	// alone. All zero when the cost model disables storage accounting.
+	Traceback TracebackStats
 	// PerClassEUUtil is the average unit utilization of each EU class
 	// (indexed like Config.EUClasses), separating the small-array and
 	// large-array halves of the Fig. 12(c) story.
@@ -68,6 +72,20 @@ type Report struct {
 	// resolution order (see StealEvent). Empty under the static
 	// policies and on unsharded runs, so those Reports are unchanged.
 	StealLog []StealEvent `json:",omitempty"`
+}
+
+// TracebackStats is the run-level traceback accounting (see
+// systolic.TracebackModel). Shard merges sum every field.
+type TracebackStats struct {
+	// Cycles is the total traceback latency charged: pointer walks
+	// plus spill read-out.
+	Cycles int64
+	// Spills counts tasks whose pointer matrix overflowed the array's
+	// SRAM budget.
+	Spills int64
+	// SpillCycles is the portion of Cycles spent streaming spilled
+	// pointers back from HBM.
+	SpillCycles int64
 }
 
 func (s *System) report(end int64) *Report {
@@ -128,6 +146,9 @@ func (s *System) report(end int64) *Report {
 		w := float64(u.PEs())
 		peBusy += u.PEUtilization() * w * float64(u.Tasks())
 		peTotal += w * float64(u.Tasks())
+		r.Traceback.Cycles += u.TracebackCycles()
+		r.Traceback.Spills += u.TracebackSpills()
+		r.Traceback.SpillCycles += u.TracebackSpillCycles()
 	}
 	if peTotal > 0 {
 		r.EUPEUtil = peBusy / peTotal

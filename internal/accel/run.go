@@ -284,7 +284,17 @@ func (s *System) idleEUs() []coordinator.IdleUnit {
 // justifies a round. Under faults the threshold is evaluated against
 // the surviving pool, so mass EU failure cannot starve the allocator.
 func (s *System) tryRoundIfTriggered() {
-	idle := len(s.idleEUs())
+	var idle int
+	if s.opts.Batched {
+		// O(1) consult: the maintained idle-pool counter replaces the
+		// full-pool scan on the hottest per-completion path.
+		if s.checkIdleCount != nil {
+			s.checkIdleCount()
+		}
+		idle = s.idleEUCount
+	} else {
+		idle = len(s.idleEUs())
+	}
 	drain := s.inputDone()
 	var fired bool
 	if s.flt != nil {
@@ -309,7 +319,15 @@ func (s *System) tryRound() {
 			return
 		}
 	}
-	idle := s.idleEUs()
+	var idle []coordinator.IdleUnit
+	if s.opts.Batched {
+		if s.checkIdleCount != nil {
+			s.checkIdleCount()
+		}
+		idle = s.idleEUsMask()
+	} else {
+		idle = s.idleEUs()
+	}
 	if len(idle) == 0 {
 		return
 	}
@@ -349,7 +367,7 @@ func (s *System) tryRound() {
 	s.roundActive = true
 	// Reserve the assigned units for the duration of the round.
 	for _, a := range assigned {
-		s.eus[a.Unit.ID].SetBusy(now)
+		s.euSetBusy(s.eus[a.Unit.ID], now)
 	}
 	// assigned aliases the allocator's round scratch; that is safe to
 	// carry into the completion event because roundActive blocks any
@@ -371,8 +389,12 @@ func (t *roundTask) Fire() {
 	t.assigned = nil
 	s.roundFree = append(s.roundFree, t)
 	s.roundActive = false
-	for _, a := range assigned {
-		s.dispatch(a)
+	if s.opts.Batched {
+		s.dispatchBatch(assigned)
+	} else {
+		for _, a := range assigned {
+			s.dispatch(a)
+		}
 	}
 	s.tryRoundIfTriggered()
 }
@@ -509,14 +531,14 @@ func (s *System) getEUTask(u *eu.Unit, ext core.Extension) *euTask {
 // pipeline's.
 func (s *System) euDone(u *eu.Unit, ext core.Extension) {
 	now := s.eng.Now()
-	u.SetIdle(now)
+	s.euSetIdle(u, now)
 	if s.flt != nil {
 		s.flt.inFlight--
 		if s.flt.inj.EUFailed(u.ID()) {
 			// The unit failed while extending: discard its result, park
 			// it, and re-dispatch the hit with bounded retry (Hits
 			// Allocator degradation policy).
-			u.Stop()
+			s.euStopIdle(u)
 			s.requeueHit(u, ext.Hit)
 			s.tryRoundIfTriggered()
 			return

@@ -67,6 +67,15 @@ type Options struct {
 	EUCost eu.CostModel
 	// TraceBuckets is the resolution of utilization time series.
 	TraceBuckets int
+	// Batched dispatches each allocation round's assignments as one
+	// pooled hit vector with reserved completion sequencing instead of
+	// one scheduled event per hit, and consults the Allocate Trigger
+	// through an O(1) idle-pool counter instead of a full EU scan —
+	// the event-loop fast path (see batch.go). Reports are
+	// byte-identical to per-hit dispatch, which remains the retained
+	// reference path; the differential suite pins the equivalence
+	// across all allocator strategies, fault plans, and sharding.
+	Batched bool
 	// Memo optionally supplies a precomputed functional-replay cache
 	// (see BuildMemo). It is consumed only when it was built over the
 	// same seeding front end this system runs, so attaching a default
@@ -157,6 +166,19 @@ type System struct {
 	suFree    []*suTask
 	euFree    []*euTask
 	roundFree []*roundTask
+	batchFree []*batchTask
+
+	// idleEUCount and idleMask track the idle EU pool for the batched
+	// dispatch path — the count backs the O(1) trigger consult, the
+	// bitmask rebuilds round idle lists without scanning unit state.
+	// Both are maintained by the euSet* wrappers in both modes (see
+	// batch.go); euTable holds each unit's fixed allocator descriptor.
+	// checkIdleCount is a test hook run at each consult to
+	// cross-validate counter and mask against a full scan.
+	idleEUCount    int
+	idleMask       []uint64
+	euTable        []coordinator.IdleUnit
+	checkIdleCount func()
 }
 
 type blockedSU struct {
@@ -211,6 +233,13 @@ func New(aligner *pipeline.Aligner, opts Options) (*System, error) {
 			s.eus = append(s.eus, eu.New(id, ci, cl.PEs, ext, opts.EUCost))
 			id++
 		}
+	}
+	s.idleEUCount = len(s.eus)
+	s.idleMask = make([]uint64, (len(s.eus)+63)/64)
+	s.euTable = make([]coordinator.IdleUnit, len(s.eus))
+	for i, u := range s.eus {
+		s.idleMask[i>>6] |= 1 << (uint(i) & 63)
+		s.euTable[i] = coordinator.IdleUnit{ID: u.ID(), Class: u.Class(), PEs: u.PEs()}
 	}
 	if o := opts.Obs; o != nil {
 		// Thread the observer through every component: the engine's

@@ -65,7 +65,21 @@ type Extension struct {
 	Score int
 	// RefBeg and RefEnd delimit the aligned reference span.
 	RefBeg, RefEnd int
+	// ReadBeg and ReadEnd delimit the aligned span on the oriented
+	// read. They deliberately shadow the embedded Hit's fields of the
+	// same name (which delimit only the exact seed): a full-coverage
+	// extension covers most of the read, a z-dropped one little more
+	// than its seed, and the traceback cost model walks this span —
+	// not the seed span.
+	ReadBeg, ReadEnd int
 }
+
+// ReadSpan returns the aligned read-span length (the query side of
+// the traceback walk).
+func (e Extension) ReadSpan() int { return e.ReadEnd - e.ReadBeg }
+
+// RefSpan returns the aligned reference-span length.
+func (e Extension) RefSpan() int { return e.RefEnd - e.RefBeg }
 
 // UnitState is the Table III control interface state of an SU or EU.
 type UnitState int

@@ -21,10 +21,17 @@ type CostModel struct {
 	// LoadCycles covers loading the hit's query and reference windows
 	// into the array.
 	LoadCycles int64
+	// Traceback sizes the array's pointer-matrix storage and read-out
+	// path. The zero value is the storage-free footnote-4 walk over
+	// the alignment spans; DefaultTracebackModel adds per-array SRAM
+	// capacity and HBM spill read-out.
+	Traceback systolic.TracebackModel
 }
 
 // DefaultCostModel returns the calibrated fixed costs.
-func DefaultCostModel() CostModel { return CostModel{LoadCycles: 8} }
+func DefaultCostModel() CostModel {
+	return CostModel{LoadCycles: 8, Traceback: systolic.DefaultTracebackModel()}
+}
 
 // Extender is the functional seed-extension engine a unit replays:
 // normally the software pipeline itself (*pipeline.Aligner), but any
@@ -57,7 +64,11 @@ type Unit struct {
 	// counters
 	tasks        int
 	fillCycles   int64
+	occupancy    int64 // load + fill + traceback, the full array-busy span
 	busyPECycles int64
+	tbCycles     int64
+	tbSpills     int64
+	tbSpillCyc   int64
 }
 
 // New builds an extension unit of the given class with pes processing
@@ -107,13 +118,35 @@ func (u *Unit) SetIdle(now int64) {
 func (u *Unit) Tasks() int { return u.tasks }
 
 // PEUtilization returns the array's internal PE occupancy across all
-// executed tasks (busy PE-cycles over PEs x fill cycles).
+// executed tasks: busy PE-cycles over PEs × the full array-busy span
+// (load + fill + traceback). The denominator matches the busy
+// interval Execute reports through obs.EUExtend cycle for cycle, so
+// the trace timeline and the utilization figure tell the same story:
+// PEs sit idle while operands load and while the pointer walk reads
+// the matrix back out.
 func (u *Unit) PEUtilization() float64 {
-	if u.fillCycles == 0 {
+	if u.occupancy == 0 {
 		return 0
 	}
-	return float64(u.busyPECycles) / float64(int64(u.arr.PEs)*u.fillCycles)
+	return float64(u.busyPECycles) / float64(int64(u.arr.PEs)*u.occupancy)
 }
+
+// OccupancyCycles returns the total array-busy cycles across executed
+// tasks (load + fill + traceback) — the sum of the obs.EUExtend busy
+// intervals.
+func (u *Unit) OccupancyCycles() int64 { return u.occupancy }
+
+// TracebackCycles returns the total traceback cycles (pointer walk +
+// spill read-out) across executed tasks.
+func (u *Unit) TracebackCycles() int64 { return u.tbCycles }
+
+// TracebackSpills returns how many tasks overflowed the array's
+// pointer-matrix SRAM.
+func (u *Unit) TracebackSpills() int64 { return u.tbSpills }
+
+// TracebackSpillCycles returns the cycles spent streaming spilled
+// pointers back from HBM.
+func (u *Unit) TracebackSpillCycles() int64 { return u.tbSpillCyc }
 
 // Execute extends one hit starting at cycle now. oriented must be
 // pipeline.Orient(read, h.Rev). It returns the extension result —
@@ -140,15 +173,26 @@ func (u *Unit) Execute(now int64, oriented seq.Seq, h core.Hit) (core.Extension,
 	fill := int64(systolic.Latency(r, h.SeedLen(), u.arr.PEs))
 	u.fillCycles += fill
 	// PE-occupancy accounting: processed DP cells over the array-time
-	// the task held.
-	u.busyPECycles += int64(cost.LeftRows*cost.LeftQ + cost.RightRows*cost.RightQ + h.SeedLen())
-	// Traceback walks the task's final alignment path (one step per
-	// cycle); a z-dropped secondary traces only its short surviving
-	// span, a full-coverage alignment the whole read.
-	cycles := u.cost.LoadCycles + fill + int64(systolic.TracebackLatency(ext.RefEnd-ext.RefBeg, h.SeedLen()))
+	// the task held. Each computed cell also banks a traceback pointer.
+	cells := cost.LeftRows*cost.LeftQ + cost.RightRows*cost.RightQ + h.SeedLen()
+	u.busyPECycles += int64(cells)
+	// Traceback walks the task's final alignment path — the *aligned*
+	// spans, not the seed span: a z-dropped secondary traces only its
+	// short surviving span, a full-coverage alignment the whole read.
+	// The pointer-matrix model adds spill read-out when the computed
+	// cells overflow the array's pointer SRAM.
+	tb := u.cost.Traceback.Cost(cells, ext.RefSpan()+ext.ReadSpan())
+	u.tbCycles += tb.Cycles
+	u.tbSpillCyc += tb.SpillCycles
+	if tb.Spilled {
+		u.tbSpills++
+	}
+	cycles := u.cost.LoadCycles + fill + tb.Cycles
+	u.occupancy += cycles
 	u.tasks++
 	if u.obs != nil {
 		u.obs.EUExtend(u.id, u.class, u.arr.PEs, h.SchedLen(), now, now+cycles)
+		u.obs.EUTraceback(now, tb.Cycles, ext.RefSpan(), ext.ReadSpan(), tb.Spilled)
 	}
 	return ext, now + cycles
 }

@@ -20,9 +20,13 @@
 //     reference kernel selected vs the optimized kernels.
 //   - accel.MergeReports: the fresh-scratch reference shard merge vs
 //     the reused zero-alloc MergeAcc reduction.
+//   - accel.Dispatch: the full memoized system with per-hit scheduled
+//     completions and O(EUs) trigger scans vs pooled batch vectors
+//     with reserved sequencing and the O(1) idle counter.
 package kernbench
 
 import (
+	"encoding/json"
 	"math/rand"
 	"sync"
 	"testing"
@@ -293,8 +297,84 @@ func Cases() []Case {
 			},
 		},
 	}
-	cases = append(cases, mergeCase())
+	cases = append(cases, mergeCase(), dispatchCase())
 	return cases
+}
+
+var (
+	dispatchOnce    sync.Once
+	dispatchAligner *pipeline.Aligner
+	dispatchReads   []seq.Seq
+	dispatchMemo    *accel.Memo
+)
+
+// dispatchData builds the dispatch workload: a read set large enough
+// that the event loop dominates System construction, with one warmed
+// functional-replay memo shared by both modes so the measurement times
+// only the scheduling machinery.
+func dispatchData() (*pipeline.Aligner, []seq.Seq, *accel.Memo) {
+	dispatchOnce.Do(func() {
+		ref := genome.Generate(genome.HumanLike(), 100000, 17)
+		dispatchAligner = pipeline.New(ref.Seq, pipeline.DefaultOptions())
+		for _, r := range genome.Simulate(ref, 1200, genome.ShortReadConfig(19)) {
+			dispatchReads = append(dispatchReads, r.Seq)
+		}
+		dispatchMemo = accel.BuildMemo(dispatchAligner, nil, dispatchReads, 0)
+	})
+	return dispatchAligner, dispatchReads, dispatchMemo
+}
+
+// dispatchCase pairs per-hit dispatch (the retained reference
+// dispatcher) against batched dispatch on the full memoized system.
+// Both sides replay the same memo, so the measurement isolates the
+// scheduling machinery the Batched option replaces. The After side
+// asserts byte-identity against the reference before the timed region —
+// a diverging report would make the speedup meaningless.
+func dispatchCase() Case {
+	run := func(b *testing.B, batched bool) *accel.Report {
+		a, reads, memo := dispatchData()
+		o := accel.NvWaOptions()
+		o.Memo = memo
+		o.Batched = batched
+		// Trace resolution is orthogonal to dispatch; a coarse series
+		// keeps report assembly from diluting the measured machinery.
+		o.TraceBuckets = 4
+		sys, err := accel.New(a, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sys.Run(reads)
+	}
+	return Case{
+		Kernel: "accel.Dispatch/full-system",
+		Note:   "per-hit scheduled completions + O(EUs) trigger scans (reference) vs pooled batch vectors + O(1) idle counter",
+		Before: func(b *testing.B) {
+			run(b, false) // warm memo and freelists
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run(b, false)
+			}
+		},
+		After: func(b *testing.B) {
+			ref, err := json.Marshal(run(b, false))
+			if err != nil {
+				b.Fatal(err)
+			}
+			got, err := json.Marshal(run(b, true))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if string(ref) != string(got) {
+				b.Fatal("batched dispatch report diverges from per-hit reference")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run(b, true)
+			}
+		},
+	}
 }
 
 // shardReports synthesises n deterministic per-shard Reports with the

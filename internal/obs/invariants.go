@@ -300,6 +300,33 @@ func (v *Invariants) CheckFaultLedger(now int64, retryPending, inFlight int64) {
 // When the fault-extension ledger was used (any of completed /
 // requeued / retried / deadLettered non-zero), it additionally closes
 // the extended conservation equation: every hit offered to the
+// CheckTraceback validates one task's modeled traceback cost: the
+// cycles charged must cover at least the alignment's path length. Any
+// monotone path over a refSpan × readSpan alignment takes at least
+// max(refSpan, readSpan) steps (diagonal moves advance both spans at
+// once), so a model undercharging that bound is reading the wrong
+// spans — exactly the seed-length-for-read-span bug this invariant
+// exists to keep fixed.
+func (v *Invariants) CheckTraceback(now, cycles int64, refSpan, readSpan int) {
+	if v == nil {
+		return
+	}
+	v.checked++
+	pathMin := int64(refSpan)
+	if int64(readSpan) > pathMin {
+		pathMin = int64(readSpan)
+	}
+	if pathMin < 0 {
+		v.violate("traceback at cycle %d: negative alignment span (ref=%d read=%d)",
+			now, refSpan, readSpan)
+		return
+	}
+	if cycles < pathMin {
+		v.violate("traceback at cycle %d: modeled %d cycles < alignment path length %d (ref=%d read=%d)",
+			now, cycles, pathMin, refSpan, readSpan)
+	}
+}
+
 // Coordinator must terminate as completed, dead-lettered, dropped, or
 // shed — offered = pushed + shed and pushed == completed +
 // deadLettered + dropped — with zero retry-pending and in-flight

@@ -83,6 +83,23 @@ func (o *Observer) EUExtend(id, class, pes, hitLen int, start, end int64) {
 	}
 }
 
+// EUTraceback records one task's traceback accounting: the modeled
+// walk+readout cycles for an alignment spanning refSpan reference and
+// readSpan read bases, and whether its pointer matrix spilled SRAM.
+// It also feeds the traceback-cost invariant: the modeled cycles must
+// cover at least the alignment path length (an alignment over those
+// spans walks at minimum max(refSpan, readSpan) steps).
+func (o *Observer) EUTraceback(now, cycles int64, refSpan, readSpan int, spilled bool) {
+	if o == nil {
+		return
+	}
+	o.Metrics.Counter("eu.traceback_cycles").Add(cycles)
+	if spilled {
+		o.Metrics.Counter("eu.traceback_spills").Inc()
+	}
+	o.Inv.CheckTraceback(now, cycles, refSpan, readSpan)
+}
+
 // --- Coordinator: hits buffer ---------------------------------------
 
 // BufferPush samples Store Buffer occupancy after a successful push.

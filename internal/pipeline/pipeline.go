@@ -340,6 +340,8 @@ func (a *Aligner) ExtendHitCost(oriented seq.Seq, h core.Hit) (core.Extension, E
 	score := h.SeedScore
 	refBeg := h.RefPos
 	refEnd := h.RefPos + h.SeedLen()
+	readBeg := h.ReadBeg
+	readEnd := h.ReadEnd
 	var cost ExtendCost
 
 	extend := func(r, q []byte, init int) (int, int, int, int) {
@@ -355,9 +357,10 @@ func (a *Aligner) ExtendHitCost(oriented seq.Seq, h core.Hit) (core.Extension, E
 	if leftQ > 0 && leftR > 0 {
 		q := reverseInto(&scr.qrev, oriented[h.ReadBeg-leftQ:h.ReadBeg])
 		r := reverseInto(&scr.rrev, a.ref[h.RefPos-leftR:h.RefPos])
-		s, rEnd, _, rows := extend(r, q, score)
+		s, rEnd, qEnd, rows := extend(r, q, score)
 		score = s
 		refBeg = h.RefPos - rEnd
+		readBeg = h.ReadBeg - qEnd // reversed view: qEnd counts leftwards
 		cost.LeftRows = rows
 		cost.LeftQ = minInt(leftQ, rows+a.opts.ExtBand)
 	}
@@ -365,13 +368,15 @@ func (a *Aligner) ExtendHitCost(oriented seq.Seq, h core.Hit) (core.Extension, E
 	if rightQ > 0 && rightR > 0 {
 		q := oriented[h.ReadEnd : h.ReadEnd+rightQ]
 		r := a.ref[refEnd : refEnd+rightR]
-		s, rEnd, _, rows := extend(r, q, score)
+		s, rEnd, qEnd, rows := extend(r, q, score)
 		score = s
 		refEnd += rEnd
+		readEnd = h.ReadEnd + qEnd
 		cost.RightRows = rows
 		cost.RightQ = minInt(rightQ, rows+a.opts.ExtBand)
 	}
-	return core.Extension{Hit: h, Score: score, RefBeg: refBeg, RefEnd: refEnd}, cost
+	return core.Extension{Hit: h, Score: score, RefBeg: refBeg, RefEnd: refEnd,
+		ReadBeg: readBeg, ReadEnd: readEnd}, cost
 }
 
 func minInt(a, b int) int {

@@ -153,6 +153,30 @@ func (e *Engine) AtTask(cycle int64, t Task) {
 	e.seq++
 }
 
+// ReserveSeqs reserves n consecutive sequence numbers and returns the
+// first. Reserved numbers order exactly like n back-to-back At/AtTask
+// calls made at the same point in the event stream, but the events
+// themselves may be pushed later (and one at a time) via AtTaskSeq —
+// the primitive behind batched dispatch: a round reserves one seq per
+// completion up front, keeps a single chained task resident in the
+// heap, and still fires every completion at the identical (at, seq)
+// position a per-event schedule would have.
+func (e *Engine) ReserveSeqs(n int) int64 {
+	base := e.seq
+	e.seq += int64(n)
+	return base
+}
+
+// AtTaskSeq schedules t.Fire at the given cycle under a sequence
+// number previously obtained from ReserveSeqs, with the same clamp
+// policy as At. Passing a seq that was not reserved (or reusing one)
+// breaks the engine's uniqueness invariant and with it deterministic
+// ordering; callers own that discipline.
+func (e *Engine) AtTaskSeq(cycle, seq int64, t Task) {
+	cycle = e.clampCycle(cycle)
+	e.events.push(event{at: cycle, seq: seq, task: t})
+}
+
 // Clamps returns how many past-cycle schedules were clamped to now.
 func (e *Engine) Clamps() int64 { return e.clamps }
 

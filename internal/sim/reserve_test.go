@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+type recTask struct {
+	log  *[]int
+	id   int
+	then func()
+}
+
+func (t *recTask) Fire() {
+	*t.log = append(*t.log, t.id)
+	if t.then != nil {
+		t.then()
+	}
+}
+
+// Reserved sequence numbers must order exactly like back-to-back
+// AtTask calls made at the reservation point, regardless of when (and
+// in what order) the events are actually pushed.
+func TestReserveSeqsOrdersLikeImmediateSchedules(t *testing.T) {
+	run := func(batched bool) []int {
+		var e Engine
+		var log []int
+		sched := func(at int64, id int) { e.AtTask(at, &recTask{log: &log, id: id}) }
+		// A competitor event that lands between the reserved ones.
+		sched(5, 100)
+		if batched {
+			base := e.ReserveSeqs(3)
+			// Push out of order: ordering must come from (at, seq) alone.
+			e.AtTaskSeq(7, base+2, &recTask{log: &log, id: 2})
+			e.AtTaskSeq(5, base, &recTask{log: &log, id: 0})
+			e.AtTaskSeq(5, base+1, &recTask{log: &log, id: 1})
+		} else {
+			sched(5, 0)
+			sched(5, 1)
+			sched(7, 2)
+		}
+		sched(5, 101) // scheduled after the reservation: fires after id 0 and 1
+		e.Run()
+		return log
+	}
+	perEvent := run(false)
+	reserved := run(true)
+	if !reflect.DeepEqual(perEvent, reserved) {
+		t.Fatalf("reserved-seq order %v != per-event order %v", reserved, perEvent)
+	}
+	want := []int{100, 0, 1, 101, 2}
+	if !reflect.DeepEqual(perEvent, want) {
+		t.Fatalf("firing order %v, want %v", perEvent, want)
+	}
+}
+
+// A chained task that re-pushes itself with its next reserved seq must
+// interleave correctly with same-cycle events scheduled in between —
+// the exact shape batched dispatch uses.
+func TestReserveSeqsChainedRepush(t *testing.T) {
+	var e Engine
+	var log []int
+	base := e.ReserveSeqs(2)
+	// First chained completion at cycle 3; during its Fire it schedules
+	// a same-cycle follow-up (fresh seq) and pushes the second reserved
+	// completion, also at cycle 3. The reserved one must fire first:
+	// its seq predates the follow-up's.
+	e.AtTaskSeq(3, base, &recTask{log: &log, id: 1, then: func() {
+		e.AtTask(3, &recTask{log: &log, id: 3})
+		e.AtTaskSeq(3, base+1, &recTask{log: &log, id: 2})
+	}})
+	e.Run()
+	want := []int{1, 2, 3}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("chained firing order %v, want %v", log, want)
+	}
+}

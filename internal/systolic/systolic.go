@@ -39,7 +39,10 @@ func Latency(r, q, p int) int {
 }
 
 // TracebackLatency returns the constant trace-back cost for a given
-// task (paper footnote 4: independent of the number of PEs).
+// task (paper footnote 4: independent of the number of PEs). It is the
+// storage-free reference model; TracebackModel layers pointer-matrix
+// SRAM capacity and spill read-out on top of this walk, and its zero
+// value charges exactly this constant over the alignment spans.
 func TracebackLatency(r, q int) int { return r + q }
 
 // Result reports one array execution.
@@ -128,12 +131,12 @@ func (a *Array) runWavefront(ref, query []byte, mode Mode, initScore int) Result
 
 	blocks := (q + p - 1) / p
 	// Per-PE state within a pass.
-	curH := make([]int, p)  // H[i][j] just produced by PE k
-	curE := make([]int, p)  // E[i][j] (horizontal gap state, lives in the PE)
-	curF := make([]int, p)  // F[i][j] (vertical gap state, passed downstream)
-	diag := make([]int, p)  // H[i-1][j-1] latched from upstream
-	upH := make([]int, p)   // H[i-1][j] from upstream last cycle
-	upF := make([]int, p)   // F[i-1][j] from upstream last cycle
+	curH := make([]int, p) // H[i][j] just produced by PE k
+	curE := make([]int, p) // E[i][j] (horizontal gap state, lives in the PE)
+	curF := make([]int, p) // F[i][j] (vertical gap state, passed downstream)
+	diag := make([]int, p) // H[i-1][j-1] latched from upstream
+	upH := make([]int, p)  // H[i-1][j] from upstream last cycle
+	upF := make([]int, p)  // F[i-1][j] from upstream last cycle
 	newTopH := make([]int, r+1)
 	newTopF := make([]int, r+1)
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -38,7 +39,9 @@ type kernelFile struct {
 }
 
 // measureKernels runs the kernbench suite through testing.Benchmark.
-func measureKernels() kernelFile {
+// A non-empty filter restricts measurement to kernels whose id
+// contains the substring, which keeps iteration on one kernel cheap.
+func measureKernels(filter string) kernelFile {
 	out := kernelFile{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		Host:        benchHost{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), GoVersion: runtime.Version()},
@@ -46,6 +49,9 @@ func measureKernels() kernelFile {
 	fmt.Printf("%-28s %12s %12s %8s %11s %10s\n",
 		"kernel", "before(ns)", "after(ns)", "speedup", "allocs b/a", "bytes b/a")
 	for _, c := range kernbench.Cases() {
+		if filter != "" && !strings.Contains(c.Kernel, filter) {
+			continue
+		}
 		before := testing.Benchmark(c.Before)
 		after := testing.Benchmark(c.After)
 		row := kernelRow{
@@ -61,7 +67,7 @@ func measureKernels() kernelFile {
 		if row.AfterNsOp > 0 {
 			row.Speedup = row.BeforeNsOp / row.AfterNsOp
 		}
-		if c.Kernel == "pipeline.Align/end-to-end" {
+		if c.Kernel == endToEndKernel {
 			out.EndToEndSpeedup = row.Speedup
 		}
 		out.Rows = append(out.Rows, row)
@@ -73,8 +79,16 @@ func measureKernels() kernelFile {
 }
 
 // runKernelBench measures the suite and writes BENCH_kernels.json.
-func runKernelBench(path string) error {
-	out := measureKernels()
+// With a filter active only the matching kernels are measured and the
+// baseline file is left untouched — a partial suite must never clobber
+// the committed full baseline.
+func runKernelBench(path, filter string) error {
+	out := measureKernels(filter)
+	if filter != "" {
+		fmt.Fprintf(os.Stderr, "kernel filter %q active: measured %d kernel(s), baseline %s not written\n",
+			filter, len(out.Rows), path)
+		return nil
+	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
@@ -100,10 +114,22 @@ const (
 	// batched dispatch must never lose to the per-hit reference
 	// dispatcher it is pinned byte-identical to.
 	minDispatchSpeedup = 1.0
+	// minSeedsLUTSpeedup is the floor on the fmindex.Seeds row: the
+	// interleaved-layout + LUT jump-start seeding path must hold this
+	// speedup over the retained per-word scratch reference.
+	minSeedsLUTSpeedup = 1.4
+	// minSeedRoundSpeedup is the floor on the su.Dispatch row: batched
+	// SU seed rounds must never lose to per-read seeding dispatch.
+	minSeedRoundSpeedup = 1.0
 )
 
-// dispatchKernel is the batched-dispatch row's kernel id.
-const dispatchKernel = "accel.Dispatch/full-system"
+// Kernel ids the absolute floors gate on.
+const (
+	dispatchKernel  = "accel.Dispatch/full-system"
+	seedsLUTKernel  = "fmindex.Seeds/LUT"
+	seedRoundKernel = "su.Dispatch/seed-rounds"
+	endToEndKernel  = "pipeline.Align/end-to-end"
+)
 
 // checkKernelBench measures the suite fresh and compares it against a
 // committed baseline file. Absolute ns/op is machine-dependent, so the
@@ -116,9 +142,15 @@ const dispatchKernel = "accel.Dispatch/full-system"
 //     larger drop means the optimized kernel lost ground against the
 //     reference implementation compiled from the same tree),
 //   - the end-to-end row must hold the absolute minEndToEndSpeedup
-//     floor, and the batched-dispatch row the minDispatchSpeedup
-//     floor, regardless of what the baseline file recorded.
-func checkKernelBench(baselinePath string, tol float64) error {
+//     floor, the batched-dispatch row the minDispatchSpeedup floor,
+//     the LUT seeding row the minSeedsLUTSpeedup floor, and the seed
+//     round row the minSeedRoundSpeedup floor, regardless of what the
+//     baseline file recorded.
+//
+// A non-empty filter restricts the check (and the disappeared-kernel
+// scan) to matching kernels; floors whose row was filtered out are
+// skipped.
+func checkKernelBench(baselinePath string, tol float64, filter string) error {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return err
@@ -131,9 +163,23 @@ func checkKernelBench(baselinePath string, tol float64) error {
 	for _, r := range base.Rows {
 		baseRows[r.Kernel] = r
 	}
-	fresh := measureKernels()
+	floors := map[string]float64{
+		dispatchKernel:  minDispatchSpeedup,
+		seedsLUTKernel:  minSeedsLUTSpeedup,
+		seedRoundKernel: minSeedRoundSpeedup,
+	}
+	fresh := measureKernels(filter)
 	var failures []string
+	sawEndToEnd := false
 	for _, r := range fresh.Rows {
+		if r.Kernel == endToEndKernel {
+			sawEndToEnd = true
+		}
+		if floor, ok := floors[r.Kernel]; ok && r.Speedup < floor {
+			failures = append(failures, fmt.Sprintf(
+				"%s: optimized kernel lost to its retained reference (%.2fx < %.2fx floor)",
+				r.Kernel, r.Speedup, floor))
+		}
 		b, ok := baseRows[r.Kernel]
 		if !ok {
 			continue // new kernel: nothing to regress against
@@ -147,18 +193,16 @@ func checkKernelBench(baselinePath string, tol float64) error {
 				"%s: speedup regressed %.2fx -> %.2fx (floor %.2fx at tol %.0f%%)",
 				r.Kernel, b.Speedup, r.Speedup, floor, tol*100))
 		}
-		if r.Kernel == dispatchKernel && r.Speedup < minDispatchSpeedup {
-			failures = append(failures, fmt.Sprintf(
-				"%s: batched dispatch lost to the per-hit reference (%.2fx < %.2fx floor)",
-				r.Kernel, r.Speedup, minDispatchSpeedup))
-		}
 	}
-	if fresh.EndToEndSpeedup < minEndToEndSpeedup {
+	if sawEndToEnd && fresh.EndToEndSpeedup < minEndToEndSpeedup {
 		failures = append(failures, fmt.Sprintf(
 			"end_to_end_speedup %.2fx below the %.2fx floor",
 			fresh.EndToEndSpeedup, minEndToEndSpeedup))
 	}
 	for k := range baseRows {
+		if filter != "" && !strings.Contains(k, filter) {
+			continue
+		}
 		found := false
 		for _, r := range fresh.Rows {
 			if r.Kernel == k {

@@ -94,6 +94,7 @@ func main() {
 	kernelsOut := flag.String("kernels-out", "BENCH_kernels.json", "output file for -kernels")
 	kernelsCheck := flag.String("kernels-check", "", "re-measure the kernel suite and compare against this committed baseline instead of writing a file (implies -kernels)")
 	kernelsTol := flag.Float64("kernels-tol", 0.20, "with -kernels-check: allowed fractional drop in per-kernel speedup")
+	kernelFilter := flag.String("kernel", "", "with -kernels/-kernels-check: only measure kernels whose id contains this substring (filtered -kernels prints without writing the baseline file)")
 	shards := flag.Int("shards", 1, "simulate S independent chips over a partitioned read set and merge Reports deterministically (1 = unsharded)")
 	shardPolicy := flag.String("shard-policy", "contiguous", "read partitioning policy for -shards: contiguous, interleaved, or balanced")
 	scaleoutOut := flag.String("scaleout-json", "", "sweep shard counts serial vs parallel and write the BENCH_scaleout.json artifact to this file")
@@ -112,12 +113,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *kernels || *kernelsCheck != "" {
+	if *kernels || *kernelsCheck != "" || *kernelFilter != "" {
 		var err error
 		if *kernelsCheck != "" {
-			err = checkKernelBench(*kernelsCheck, *kernelsTol)
+			err = checkKernelBench(*kernelsCheck, *kernelsTol, *kernelFilter)
 		} else {
-			err = runKernelBench(*kernelsOut)
+			err = runKernelBench(*kernelsOut, *kernelFilter)
 		}
 		if err != nil {
 			fail(err)

@@ -84,7 +84,7 @@ const (
 // only bounds the fan-out (<= 0 means GOMAXPROCS) and never affects
 // the values.
 func EstimateReadCosts(a *pipeline.Aligner, reads []seq.Seq, workers int) []float64 {
-	idx := a.Seeder().Bi().Fwd()
+	idx := a.Seeder().Bi()
 	costs := make([]float64, len(reads))
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -116,12 +116,17 @@ func EstimateReadCosts(a *pipeline.Aligner, reads []seq.Seq, workers int) []floa
 }
 
 // probeReadCost estimates one read's simulated work from its capped
-// k-mer occurrence mass on both strands.
-func probeReadCost(idx *fmindex.Index, read seq.Seq, st *fmindex.Stats) float64 {
+// k-mer occurrence mass on both strands. Counting goes through the
+// index's k-mer LUT jump-start (CountLUT), which skips the first k-1
+// extension steps of every probe; counts — and therefore the cost
+// estimates and the entire steal schedule planned from them — are
+// identical to plain backward search, which CountLUT falls back to
+// when no table is attached.
+func probeReadCost(idx *fmindex.BiIndex, read seq.Seq, st *fmindex.Stats) float64 {
 	cost := probeBaseCost + probePerBaseCost*float64(len(read))
 	probe := func(r seq.Seq) {
 		for off := 0; off+probeKmerLen <= len(r); off += probeStride {
-			c := idx.Count([]byte(r[off:off+probeKmerLen]), st)
+			c := idx.CountLUT([]byte(r[off:off+probeKmerLen]), st)
 			if c > probeOccCap {
 				c = probeOccCap
 			}

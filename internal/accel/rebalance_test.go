@@ -158,6 +158,35 @@ func TestEstimateReadCostsWorkerInvariance(t *testing.T) {
 	}
 }
 
+// TestEstimateReadCostsLUTInvariance pins the satellite contract of the
+// seeding fast path: routing the cost probe through the k-mer LUT
+// jump-start changes how counts are computed, not what they are, so the
+// cost vector — and the steal schedule PlanBalanced derives from it —
+// is bit-identical to the plain backward-search probe.
+func TestEstimateReadCostsLUTInvariance(t *testing.T) {
+	t.Parallel()
+	a, reads := testWorkload(t, 160, 43)
+	if a.Seeder().Bi().LUT() == nil {
+		t.Fatal("expected a default LUT on the test reference")
+	}
+	withLUT := EstimateReadCosts(a, reads, 0)
+	a.Seeder().SetFastSeeds(false) // detaches the jump: CountLUT falls back
+	plain := EstimateReadCosts(a, reads, 0)
+	a.Seeder().SetFastSeeds(true)
+	if !reflect.DeepEqual(withLUT, plain) {
+		t.Fatal("cost vector differs between LUT and plain probes")
+	}
+	const s = 4
+	lutParts, lutLog := PlanBalanced(withLUT, s)
+	plainParts, plainLog := PlanBalanced(plain, s)
+	if !reflect.DeepEqual(lutParts, plainParts) {
+		t.Error("balanced partition differs between LUT and plain probes")
+	}
+	if !reflect.DeepEqual(lutLog, plainLog) {
+		t.Error("steal schedule differs between LUT and plain probes")
+	}
+}
+
 // TestShardedBalancedDifferential is the steal-invariance contract:
 // the balanced policy's merged per-read Results are identical to the
 // unsharded run's (a steal moves a read to a different — identical —

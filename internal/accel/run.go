@@ -41,9 +41,13 @@ func (s *System) RunChecked(reads []seq.Seq) (*Report, error) {
 
 	switch s.opts.SeedStrategy {
 	case OneCycle:
-		for _, u := range s.sus {
-			uu := u
-			s.eng.At(0, func() { s.startOneCycle(uu) })
+		if s.opts.BatchedSU {
+			s.eng.At(0, s.startAllOneCycle)
+		} else {
+			for _, u := range s.sus {
+				uu := u
+				s.eng.At(0, func() { s.startOneCycle(uu) })
+			}
 		}
 	case ReadInBatch:
 		s.eng.At(0, s.issueBatch)
@@ -138,6 +142,14 @@ func (s *System) getSUTask(u *su.Unit, idx int) *suTask {
 // is refilled in a single cycle). Under faults, failed units park and
 // requeued reads are served first (see takeRead).
 func (s *System) startOneCycle(u *su.Unit) {
+	if s.opts.BatchedSU {
+		// Steady-state refill as a singleton round: ReserveSeqs(1) +
+		// AtTaskSeq is numerically identical to the plain AtTask below.
+		t := s.getSeedRound()
+		s.collectSeed(t, u)
+		s.armSeedRound(t)
+		return
+	}
 	now := s.eng.Now()
 	if s.flt != nil && s.flt.inj.SUFailed(u.ID()) {
 		u.Stop()
@@ -175,6 +187,10 @@ func (s *System) issueBatch() {
 		n = rem
 	}
 	s.idleSUs = len(s.sus) - n // units without work this batch stay idle
+	if s.opts.BatchedSU {
+		s.issueBatchRound(targets, n)
+		return
+	}
 	for i := 0; i < n; i++ {
 		u := targets[i]
 		idx, ok := s.takeRead()

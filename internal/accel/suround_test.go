@@ -1,0 +1,164 @@
+package accel
+
+import (
+	"fmt"
+	"testing"
+
+	"nvwa/internal/fault"
+	"nvwa/internal/obs"
+)
+
+// The batched-seeding contract: BatchedSU is byte-identical to
+// per-read seed scheduling. Swept across all four allocator strategies
+// × {fault-free, seeded fault plan} × both seed strategies (OCRA's
+// init burst + singleton refills, and Read-in-Batch's barrier issues
+// each exercise a different round shape).
+func TestBatchedSUByteIdentical(t *testing.T) {
+	t.Parallel()
+	a, reads := testWorkload(t, 150, 47)
+	plan := fault.Spec{
+		Seed: 9, Horizon: 20000,
+		SUStalls: 3, SUFails: 1, EUStalls: 4, EUFails: 2, MemTimeouts: 1,
+	}.Generate(16, 10)
+	for _, strat := range allStrategies {
+		for _, seedStrat := range []SeedStrategy{OneCycle, ReadInBatch} {
+			for _, faulted := range []bool{false, true} {
+				name := fmt.Sprintf("%s/%s/faults=%v", strat, seedStrat, faulted)
+				run := func(batchedSU bool) *Report {
+					o := smallOpts()
+					o.AllocStrategy = strat
+					o.SeedStrategy = seedStrat
+					o.BatchedSU = batchedSU
+					if faulted {
+						o.Faults = plan
+					}
+					sys, err := New(a, o)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return sys.Run(reads)
+				}
+				perRead := reportBytes(t, run(false))
+				batched := reportBytes(t, run(true))
+				if string(perRead) != string(batched) {
+					t.Errorf("%s: batched-SU report diverges from per-read", name)
+				}
+			}
+		}
+	}
+}
+
+// Batched seeding composes with every other fast path: batched EU
+// dispatch, the functional-replay memo, and S=4 balanced sharding,
+// all on at once, must still match the everything-off reference byte
+// for byte.
+func TestBatchedSUComposedByteIdentical(t *testing.T) {
+	t.Parallel()
+	a, reads := testWorkload(t, 200, 53)
+	memo := BuildMemo(a, nil, reads, 0)
+	run := func(fast bool) *Report {
+		o := smallOpts()
+		o.Batched = fast
+		o.BatchedSU = fast
+		if fast {
+			o.Memo = memo
+		}
+		sys, err := NewSharded(a, ShardedOptions{
+			Options: o, Shards: 4, Policy: ShardBalanced,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, _, err := sys.RunDetailed(reads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	slow := reportBytes(t, run(false))
+	fast := reportBytes(t, run(true))
+	if string(slow) != string(fast) {
+		t.Error("S=4 balanced all-fast-paths merge diverges from reference")
+	}
+}
+
+// A batched-SU run under the full observability layer must pass every
+// seed-round invariant (sorted chains, future-only fires, distinct
+// units) and still produce the identical Report to an unobserved run.
+func TestBatchedSUObservedInvariants(t *testing.T) {
+	t.Parallel()
+	a, reads := testWorkload(t, 120, 59)
+	run := func(o *obs.Observer) *Report {
+		opts := smallOpts()
+		opts.BatchedSU = true
+		opts.Obs = o
+		sys, err := New(a, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Run(reads)
+	}
+	o := obs.New()
+	observed := run(o)
+	if err := o.Inv.Err(); err != nil {
+		t.Fatalf("invariant violations: %v", err)
+	}
+	if o.Metrics.Counter("seedsched.rounds").Value() == 0 {
+		t.Error("no seed rounds recorded by the observer")
+	}
+	plain := run(nil)
+	if string(reportBytes(t, observed)) != string(reportBytes(t, plain)) {
+		t.Error("observed batched-SU report diverges from unobserved")
+	}
+}
+
+// Seed-round vectors must respect the (ready, seq) heap order for any
+// mix of ready cycles, including ties. sortSeedRound is the only
+// ordering step between round building and the engine.
+func TestSortSeedRoundOrdersByReadyThenSeq(t *testing.T) {
+	t.Parallel()
+	e := []suRoundEntry{
+		{ready: 9, seq: 3}, {ready: 7, seq: 5}, {ready: 9, seq: 1},
+		{ready: 7, seq: 4}, {ready: 12, seq: 0}, {ready: 7, seq: 2},
+	}
+	sortSeedRound(e)
+	for i := 1; i < len(e); i++ {
+		a, b := e[i-1], e[i]
+		if a.ready > b.ready || (a.ready == b.ready && a.seq > b.seq) {
+			t.Fatalf("entry %d (%d,%d) out of order after (%d,%d)",
+				i, b.ready, b.seq, a.ready, a.seq)
+		}
+	}
+}
+
+// Steady-state batched seeding must stay within the same allocation
+// budget as the pooled per-read tasks it replaces: round tasks,
+// index/ready scratch, and completion tasks all recycle.
+func TestBatchedSUSteadyStateZeroAlloc(t *testing.T) {
+	a, reads := testWorkload(t, 60, 61)
+	o := smallOpts()
+	o.Batched = true
+	o.BatchedSU = true
+	o.Memo = BuildMemo(a, nil, reads, 0)
+	// Warm run sizes every freelist and scratch buffer.
+	sys, err := New(a, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(reads)
+
+	sys2, err := New(a, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1, func() {
+		sys2.Run(reads)
+	})
+	// Same budget rationale as the batched-dispatch test: a full Run
+	// allocates for results/report assembly, but the seeding machinery
+	// itself must add nothing per read or per round.
+	perReadBudget := float64(len(reads) + 600)
+	if allocs > perReadBudget {
+		t.Fatalf("batched-SU Run allocated %.0f times, budget %.0f", allocs, perReadBudget)
+	}
+}

@@ -76,6 +76,17 @@ type Options struct {
 	// reference path; the differential suite pins the equivalence
 	// across all allocator strategies, fault plans, and sharding.
 	Batched bool
+	// BatchedSU issues each seed-allocation site's reads as one pooled
+	// round vector with reserved completion sequencing instead of one
+	// scheduled event per read — the seeding-side twin of Batched (see
+	// suround.go). The One-Cycle init burst and every Read-in-Batch
+	// issue become a single chained task; steady-state OCRA refills run
+	// as singleton rounds, which the engine orders exactly like the
+	// per-read schedule. Reports are byte-identical to per-read
+	// seeding, which remains the retained reference path; the
+	// differential suite pins the equivalence across allocator
+	// strategies, fault plans, seed strategies, and sharding.
+	BatchedSU bool
 	// Memo optionally supplies a precomputed functional-replay cache
 	// (see BuildMemo). It is consumed only when it was built over the
 	// same seeding front end this system runs, so attaching a default
@@ -167,6 +178,13 @@ type System struct {
 	euFree    []*euTask
 	roundFree []*roundTask
 	batchFree []*batchTask
+
+	// Batched-SU round scratch (see suround.go): a freelist of chained
+	// round tasks plus the read-index and ready-cycle vectors handed to
+	// the prefetcher's batched resolver.
+	seedRoundFree []*suRoundTask
+	seedIdxBuf    []int
+	seedReadyBuf  []int64
 
 	// idleEUCount and idleMask track the idle EU pool for the batched
 	// dispatch path — the count backs the O(1) trigger consult, the

@@ -7,6 +7,9 @@ package fmindex
 type BiIndex struct {
 	fwd *Index // index of U
 	rev *Index // index of reverse(U)
+	// lut is the optional k-mer jump-start table (see lut.go). Built
+	// once, then read-only: shards and worker goroutines share it.
+	lut *KmerLUT
 }
 
 // NewBi builds a bidirectional index of t.
@@ -26,6 +29,22 @@ func (b *BiIndex) Fwd() *Index { return b.fwd }
 func (b *BiIndex) SetReferenceRank(v bool) {
 	b.fwd.SetReferenceRank(v)
 	b.rev.SetReferenceRank(v)
+}
+
+// SetFast routes both halves through the interleaved block layout and
+// enables the k-mer LUT jump-start (the default), or falls back to the
+// per-word SoA scratch path with plain backward search (v=false) —
+// the "current scratch path" baseline of the fmindex.Seeds/LUT
+// benchmark. Results and Stats are identical either way.
+func (b *BiIndex) SetFast(v bool) {
+	b.fwd.SetFastRank(v)
+	b.rev.SetFastRank(v)
+}
+
+// fastOn reports whether the fast seeding path (interleaved layout +
+// LUT) is active.
+func (b *BiIndex) fastOn() bool {
+	return b.fwd.fast && !b.fwd.scanRank
 }
 
 // TextLen returns the length of the indexed text.
@@ -66,6 +85,16 @@ func (x *Index) Occ4(i int, st *Stats) [4]int {
 
 // ExtendLeft turns the interval of P into the interval of aP.
 func (b *BiIndex) ExtendLeft(iv BiInterval, a byte, st *Stats) BiInterval {
+	if x := b.fwd; x.fast && !x.scanRank {
+		// Fused interleaved-layout path: same two Occ4 block reads are
+		// charged; only the software layout underneath differs.
+		if st != nil {
+			st.OccAccesses += 2
+		}
+		var out BiInterval
+		out.Fwd, out.Rev = extendFast(x, iv.Fwd, iv.Rev, a)
+		return out
+	}
 	loOcc := b.fwd.Occ4(iv.Fwd.Lo, st)
 	hiOcc := b.fwd.Occ4(iv.Fwd.Hi, st)
 	var s [4]int
@@ -90,6 +119,14 @@ func (b *BiIndex) ExtendLeft(iv BiInterval, a byte, st *Stats) BiInterval {
 
 // ExtendRight turns the interval of P into the interval of Pa.
 func (b *BiIndex) ExtendRight(iv BiInterval, a byte, st *Stats) BiInterval {
+	if x := b.rev; x.fast && !x.scanRank {
+		if st != nil {
+			st.OccAccesses += 2
+		}
+		var out BiInterval
+		out.Rev, out.Fwd = extendFast(x, iv.Rev, iv.Fwd, a)
+		return out
+	}
 	loOcc := b.rev.Occ4(iv.Rev.Lo, st)
 	hiOcc := b.rev.Occ4(iv.Rev.Hi, st)
 	var s [4]int

@@ -48,10 +48,16 @@ type Index struct {
 	// a checkpoint per BWT word, so any rank query popcounts at most one
 	// partial word.
 	occW [][4]int32
+	// blocks is the interleaved layout (one BWT word + its checkpoint
+	// per 24-byte block), the default rank path; see interleave.go.
+	blocks []occBlock
 	// scanRank routes rank queries through the original 128-base
 	// block-scanning implementation (benchmark/oracle use only).
 	scanRank bool
-	c        [5]int // C[a] = count of bases < a in text (sentinel included at rank 0)
+	// fast selects the interleaved block layout (the default); false
+	// falls back to the retained per-word SoA scratch path.
+	fast   bool
+	c      [5]int   // C[a] = count of bases < a in text (sentinel included at rank 0)
 	saMask []uint64 // bitset: SA value sampled at this BWT row?
 	saRank []int32  // cumulative popcount of saMask words, for O(1) rank
 	saVals []int32  // sampled SA values, indexed by rank among sampled rows
@@ -89,6 +95,7 @@ func New(t []byte) *Index {
 		}
 	}
 	idx.occW[nw] = running
+	idx.buildBlocks()
 
 	// C table: counts of symbols smaller than a. Sentinel counts as the
 	// single smallest symbol.
@@ -191,6 +198,9 @@ func (x *Index) occRaw(a byte, i int) int {
 	if i > x.size() {
 		i = x.size()
 	}
+	if x.fast {
+		return x.occRawFast(a, i)
+	}
 	w := i / basesPerWord
 	count := int(x.occW[w][a])
 	r := i - w*basesPerWord
@@ -219,6 +229,10 @@ func (x *Index) occ4Raw(i int) [4]int {
 	}
 	if i > x.size() {
 		i = x.size()
+	}
+	if x.fast {
+		o0, o1, o2, o3 := x.occ4Fast(i)
+		return [4]int{o0, o1, o2, o3}
 	}
 	w := i / basesPerWord
 	cp := &x.occW[w]
@@ -299,6 +313,9 @@ func (x *Index) lf(i int, st *Stats) int {
 // Locate returns the text position of the suffix at SA row i by
 // LF-walking to the nearest sampled row.
 func (x *Index) Locate(i int, st *Stats) int {
+	if x.fast && !x.scanRank {
+		return x.locateFast(i, st)
+	}
 	steps := 0
 	for x.saMask[i/64]&(1<<uint(i%64)) == 0 {
 		i = x.lf(i, st)

@@ -17,7 +17,13 @@ func NewSeeder(t []byte) *Seeder {
 	for i, b := range t {
 		u[2*len(t)-1-i] = 3 - (b & 3)
 	}
-	return &Seeder{bi: NewBi(u), n: len(t)}
+	bi := NewBi(u)
+	// Attach the k-mer jump-start table at its adaptive default size;
+	// the default k is always within BuildKmerLUT's validated bounds.
+	if err := bi.BuildLUT(0); err != nil {
+		panic("fmindex: default LUT build rejected: " + err.Error())
+	}
+	return &Seeder{bi: bi, n: len(t)}
 }
 
 // Bi exposes the underlying bidirectional index.
@@ -27,6 +33,13 @@ func (s *Seeder) Bi() *BiIndex { return s.bi }
 // original block-scanning implementation, reproducing the pre-fast-path
 // cost profile (benchmark/oracle use only; results are identical).
 func (s *Seeder) SetReferenceRank(v bool) { s.bi.SetReferenceRank(v) }
+
+// SetFastSeeds toggles the seeding fast path — the interleaved rank
+// layout plus the k-mer LUT jump-start (the default). false restores
+// the per-word SoA scratch path with plain stepwise search, the
+// benchmark baseline. Seeds, Stats, and therefore simulated Reports
+// are identical either way.
+func (s *Seeder) SetFastSeeds(v bool) { s.bi.SetFast(v) }
 
 // RefLen returns the reference length.
 func (s *Seeder) RefLen() int { return s.n }

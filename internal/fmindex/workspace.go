@@ -189,6 +189,7 @@ func (b *BiIndex) FindSMEMsReseedWS(ws *Workspace, r []byte, minLen, splitLen, s
 // and is valid until its next use.
 func (b *BiIndex) RepeatSeedsWS(ws *Workspace, r []byte, minLen, maxIntv int, st *Stats) []SMEM {
 	out := ws.repeat[:0]
+	lut := b.lutFor(minLen)
 	x := 0
 	for x+minLen <= len(r) {
 		ik := b.Single(r[x])
@@ -196,8 +197,21 @@ func (b *BiIndex) RepeatSeedsWS(ws *Workspace, r []byte, minLen, maxIntv int, st
 			x++
 			continue
 		}
+		start := x + 1
+		if lut != nil && x+lut.k <= len(r) {
+			// Jump-start: load the bi-interval of r[x:x+k] from the table
+			// instead of performing the first k-1 right extensions. The
+			// emission/break condition needs i-x >= minLen >= k, so no
+			// decision point is skipped; the modeled hardware still walks
+			// the k-1 steps, so their Occ traffic is charged verbatim.
+			ik = lut.Interval(r[x:])
+			if st != nil {
+				st.OccAccesses += 2 * (lut.k - 1)
+			}
+			start = x + lut.k
+		}
 		next := len(r)
-		for i := x + 1; i < len(r); i++ {
+		for i := start; i < len(r); i++ {
 			ok := b.ExtendRight(ik, r[i], st)
 			if ok.Size() < maxIntv && i-x >= minLen {
 				if ik.Size() > 0 {

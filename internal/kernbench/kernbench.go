@@ -12,6 +12,8 @@
 //     shrinking-band kernel with reused Scratch.
 //   - fmindex.Seeds: map-based three-pass seeding over the 128-base
 //     block-scanning rank vs workspace seeding over per-word rank.
+//   - fmindex.Seeds/LUT: workspace seeding over per-word rank vs the
+//     interleaved occ-block layout with the k-mer LUT jump-start.
 //   - systolic.Run: the cycle-exact wavefront loop vs the closed-form
 //     row-major fast path (identical Result).
 //   - sim.Schedule: closure events (one allocation each) vs pooled
@@ -23,6 +25,8 @@
 //   - accel.Dispatch: the full memoized system with per-hit scheduled
 //     completions and O(EUs) trigger scans vs pooled batch vectors
 //     with reserved sequencing and the O(1) idle counter.
+//   - su.Dispatch: per-read seed-start events vs pooled SU round
+//     vectors chained through reserved completion sequencing.
 package kernbench
 
 import (
@@ -215,6 +219,38 @@ func Cases() []Case {
 			},
 		},
 		{
+			Kernel: "fmindex.Seeds/LUT",
+			Note:   "per-word rank + stepwise search (reference) vs interleaved occ blocks + k-mer LUT jump-start",
+			Before: func(b *testing.B) {
+				sd, reads := seedingData()
+				sd.SetFastSeeds(false)
+				defer sd.SetFastSeeds(true)
+				var ws fmindex.Workspace
+				var st fmindex.Stats
+				for _, r := range reads {
+					sd.SeedsWS(&ws, r, 15, 16, 8, &st) // warm
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sd.SeedsWS(&ws, reads[i%len(reads)], 15, 16, 8, &st)
+				}
+			},
+			After: func(b *testing.B) {
+				sd, reads := seedingData()
+				var ws fmindex.Workspace
+				var st fmindex.Stats
+				for _, r := range reads {
+					sd.SeedsWS(&ws, r, 15, 16, 8, &st) // warm
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sd.SeedsWS(&ws, reads[i%len(reads)], 15, 16, 8, &st)
+				}
+			},
+		},
+		{
 			Kernel: "systolic.Run/64PE-128x101",
 			Note:   "cycle-exact wavefront loop (reference) vs closed-form fast path",
 			Before: func(b *testing.B) {
@@ -297,7 +333,7 @@ func Cases() []Case {
 			},
 		},
 	}
-	cases = append(cases, mergeCase(), dispatchCase())
+	cases = append(cases, mergeCase(), dispatchCase(), seedRoundCase())
 	return cases
 }
 
@@ -367,6 +403,62 @@ func dispatchCase() Case {
 			}
 			if string(ref) != string(got) {
 				b.Fatal("batched dispatch report diverges from per-hit reference")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run(b, true)
+			}
+		},
+	}
+}
+
+// seedRoundCase pairs per-read seed scheduling (the retained reference
+// seeder) against batched SU rounds on the full memoized system. The
+// Read-in-Batch strategy is the round-friendly workload: every issue
+// arms up to NumSUs reads at once, most of which coalesce into a
+// handful of chained fires, whereas OCRA's steady state is singleton
+// refills with no pooling opportunity by construction. Batched EU
+// dispatch is on for both sides so the measurement isolates the
+// seeding-side machinery; the After side asserts byte-identity against
+// the reference before the timed region.
+func seedRoundCase() Case {
+	run := func(b *testing.B, batchedSU bool) *accel.Report {
+		a, reads, memo := dispatchData()
+		o := accel.NvWaOptions()
+		o.SeedStrategy = accel.ReadInBatch
+		o.Memo = memo
+		o.Batched = true
+		o.BatchedSU = batchedSU
+		o.TraceBuckets = 4
+		sys, err := accel.New(a, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sys.Run(reads)
+	}
+	return Case{
+		Kernel: "su.Dispatch/seed-rounds",
+		Note:   "per-read seed events (reference) vs pooled SU round vectors with reserved sequencing",
+		Before: func(b *testing.B) {
+			run(b, false) // warm memo and freelists
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run(b, false)
+			}
+		},
+		After: func(b *testing.B) {
+			ref, err := json.Marshal(run(b, false))
+			if err != nil {
+				b.Fatal(err)
+			}
+			got, err := json.Marshal(run(b, true))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if string(ref) != string(got) {
+				b.Fatal("batched-SU report diverges from per-read reference")
 			}
 			b.ReportAllocs()
 			b.ResetTimer()

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	nvwa-bench [-exp all|fig2|fig5|fig6|fig8|fig9|fig11|fig12|fig13a|fig13b|fig14|tab1|tab2|chaos|scaleout]
+//	nvwa-bench [-exp all|fig2|fig5|fig6|fig8|fig9|fig11|fig12|fig13a|fig13b|fig14|tab1|tab2|chaos|scaleout|recovery]
 //	           [-reads N] [-reflen N] [-seed N] [-chaos-seeds N]
 //	           [-parallel] [-j N] [-json BENCH_parallel.json]
 //	           [-shards S] [-shard-policy contiguous|interleaved|balanced]
@@ -47,6 +47,13 @@
 // single large simulations scale with -j while the byte-identity
 // check still compares like with like.
 //
+// -exp recovery runs the crash-recovery smoke sweep: seeded chip-crash
+// schedules across all three partition policies and checkpoint
+// intervals, each asserted byte-identical (Recovery ledger aside) to
+// its crash-free baseline, with replayed-cycle and checkpoint-traffic
+// overheads tabulated. Excluded from -exp all for the same reason as
+// chaos; the bench exits 1 if any recovered Report diverges.
+//
 // -exp scaleout sweeps shard counts S ∈ {1,2,4,8,16} and prints
 // aggregate throughput and makespan versus S; it is excluded from
 // -exp all (scale-out across chips is beyond the paper's single-chip
@@ -78,7 +85,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig2,fig5,fig6,fig8,fig9,fig11,fig12,fig13a,fig13b,fig14,tab1,tab2,seeding,intraunit,bands,frontend,chaos,scaleout) or 'all' (chaos and scaleout excluded)")
+	exp := flag.String("exp", "all", "experiment id (fig2,fig5,fig6,fig8,fig9,fig11,fig12,fig13a,fig13b,fig14,tab1,tab2,seeding,intraunit,bands,frontend,chaos,scaleout,recovery) or 'all' (chaos, scaleout, recovery excluded)")
 	chaosSeeds := flag.Int("chaos-seeds", 4, "number of seeded fault schedules per allocator strategy for -exp chaos")
 	reads := flag.Int("reads", 4000, "number of simulated reads for system experiments")
 	refLen := flag.Int("reflen", 200000, "synthetic reference length (bp)")
@@ -163,6 +170,7 @@ func main() {
 		"fig2", "fig5", "fig6", "fig8", "fig9", "fig11", "fig12",
 		"fig13a", "fig13b", "fig14", "tab1", "tab2",
 		"seeding", "intraunit", "bands", "frontend", "chaos", "scaleout",
+		"recovery",
 	} {
 		known[id] = true
 	}
@@ -186,7 +194,7 @@ func main() {
 	// sweep simulates a multi-chip deployment — neither is a paper
 	// artifact, so "all" implies neither; select them explicitly.
 	need := func(id string) bool {
-		return (all && id != "chaos" && id != "scaleout") || want[id]
+		return (all && id != "chaos" && id != "scaleout" && id != "recovery") || want[id]
 	}
 
 	var env *experiments.Env
@@ -318,6 +326,14 @@ func main() {
 	}
 	if need("scaleout") {
 		fmt.Println(experiments.Scaleout(getEnv(), nil, pol, runner).Format())
+		ran++
+	}
+	if need("recovery") {
+		res := experiments.Recovery(getEnv(), experiments.DefaultRecoveryConfig(), runner)
+		fmt.Println(res.Format())
+		if err := res.Err(); err != nil {
+			fail(err)
+		}
 		ran++
 	}
 	if need("tab1") {

@@ -8,6 +8,7 @@
 //	         [-depths 64,256,1024,4096] [-intervals 1,2,4,8]
 //	         [-parallel] [-j N]
 //	         [-shards S] [-shard-policy contiguous|interleaved|balanced]
+//	         [-checkpoint-every N]
 //
 // -parallel (or -j > 1) fans the independent design points across a
 // worker pool backed by the shared functional memo cache; the CSV is
@@ -17,6 +18,10 @@
 // scale-out engine (S chips over a partitioned read set, reports
 // merged deterministically), so each point additionally scales with
 // the worker pool. The CSV then describes the merged S-chip machine.
+// -checkpoint-every N additionally snapshots every shard at each
+// multiple of N cycles, exercising the preemption machinery inside the
+// sweep; checkpointing never changes the simulated figures, so the CSV
+// rows are identical with it on or off.
 //
 // Exit codes: 0 success; 2 usage error (unknown flag, malformed or
 // non-positive sweep values).
@@ -44,6 +49,7 @@ func main() {
 	jobs := flag.Int("j", 0, "worker count for -parallel (0 = GOMAXPROCS; >1 implies -parallel)")
 	shards := flag.Int("shards", 1, "simulate S independent chips per design point and merge reports (1 = unsharded)")
 	shardPolicy := flag.String("shard-policy", "contiguous", "read partitioning policy for -shards: contiguous, interleaved, or balanced")
+	ckptEvery := flag.Int64("checkpoint-every", 0, "with -shards: snapshot every shard at each multiple of N cycles (0 = off; figures are unchanged either way)")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -71,8 +77,13 @@ func main() {
 	if err != nil {
 		fail(fmt.Errorf("nvwa-dse: %w", err))
 	}
+	if *ckptEvery < 0 {
+		fail(fmt.Errorf("nvwa-dse: -checkpoint-every must be >= 0, got %d", *ckptEvery))
+	}
 	if *shards > 1 {
-		runner = runner.WithShards(*shards, pol)
+		runner = runner.WithShards(*shards, pol).WithCheckpointEvery(*ckptEvery)
+	} else if *ckptEvery > 0 {
+		fail(fmt.Errorf("nvwa-dse: -checkpoint-every requires -shards > 1"))
 	}
 
 	fmt.Fprintf(os.Stderr, "building workload: %d bp, %d reads (%s)...\n", *refLen, *reads, runner)

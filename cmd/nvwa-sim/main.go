@@ -10,6 +10,7 @@
 //	         [-pool derived|table1|uniform]
 //	         [-shards S] [-shard-policy contiguous|interleaved|balanced]
 //	         [-faults SPEC] [-watchdog N]
+//	         [-checkpoint-every N] [-checkpoint-dir D] [-resume FILE]
 //	         [-trace FILE] [-metrics FILE]
 //	         [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -50,6 +51,21 @@
 // fault-injection accounting. -watchdog N bounds the run to N cycles
 // and diagnoses livelock; 0 disables.
 //
+// -checkpoint-every N snapshots the simulation every N cycles. On an
+// unsharded run the snapshots are written to -checkpoint-dir as
+// self-validating checkpoint files; -resume FILE restarts a later
+// invocation (with identical workload and configuration flags — the
+// checkpoint carries their hashes and refuses a mismatch) from one of
+// them, and the resumed run's report is byte-identical to the
+// uninterrupted run's. With -shards S > 1 the checkpoints stay in
+// memory and serve chip-crash recovery: a "chip-crash@CYCLE#SHARD"
+// event in -faults kills that shard, which restarts from its last
+// checkpoint; the merged report stays byte-identical to the crash-free
+// run and carries the Recovery ledger. -checkpoint-dir and -resume
+// require -shards 1. When -checkpoint-dir is set and a watchdog abort
+// fires, the final pre-abort state is written to abort.ckpt so the run
+// can be resumed under a raised budget instead of redone.
+//
 // Exit codes: 0 success; 1 runtime failure (including a watchdog
 // abort); 2 usage error (unknown flag or invalid flag value).
 package main
@@ -58,7 +74,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -85,6 +103,9 @@ func main() {
 	shardPolicy := flag.String("shard-policy", "contiguous", "read partitioning policy for -shards: contiguous, interleaved, or balanced")
 	faultsSpec := flag.String("faults", "", "fault schedule: wire form (\"v1;...\") or generator spec (\"seed=7,eu-fail=2\"); with -shards, interpreted over the aggregate machine")
 	watchdog := flag.Int64("watchdog", 0, "abort the run after N cycles with a livelock diagnosis (0 = off)")
+	ckptEvery := flag.Int64("checkpoint-every", 0, "snapshot the simulation every N cycles (0 = off): unsharded runs write files to -checkpoint-dir, sharded runs keep them in memory for chip-crash recovery")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for periodic and watchdog-abort checkpoint files (requires -shards 1)")
+	resume := flag.String("resume", "", "resume from a checkpoint FILE written by a previous run with identical flags (requires -shards 1)")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON instead of text")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event timeline of the run to FILE")
 	metricsOut := flag.String("metrics", "", "write a JSON metrics snapshot of the run to FILE")
@@ -112,6 +133,15 @@ func main() {
 	pol, err := nvwa.ParseShardPolicy(*shardPolicy)
 	if err != nil {
 		usage(err)
+	}
+	if *ckptEvery < 0 {
+		usage(fmt.Errorf("-checkpoint-every must be >= 0, got %d", *ckptEvery))
+	}
+	if *shards > 1 && (*ckptDir != "" || *resume != "") {
+		usage(fmt.Errorf("-checkpoint-dir and -resume require -shards 1 (sharded runs checkpoint in memory)"))
+	}
+	if *shards == 1 && *ckptEvery > 0 && *ckptDir == "" {
+		usage(fmt.Errorf("-checkpoint-every on an unsharded run needs -checkpoint-dir to write to"))
 	}
 
 	if *cpuprofile != "" {
@@ -200,17 +230,43 @@ func main() {
 		ob = obs.New()
 		opts.Obs = ob
 	}
-
-	// The sharded constructor delegates to the plain accelerator when
-	// shards <= 1, so this single path is byte-identical to the
-	// unsharded simulator at -shards 1.
-	acc, err := nvwa.NewShardedAccelerator(aligner, nvwa.ShardedOptions{
-		Options: opts, Shards: *shards, Policy: pol,
-	})
-	if err != nil {
-		fail(err)
+	if *ckptDir != "" {
+		// A watchdog abort checkpoints the final pre-abort state so the
+		// run can resume under a raised budget instead of being redone.
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fail(err)
+		}
+		dir := *ckptDir
+		opts.OnAbort = func(ck *nvwa.Checkpoint) {
+			p := filepath.Join(dir, "abort.ckpt")
+			if err := nvwa.WriteCheckpoint(p, ck); err != nil {
+				fmt.Fprintln(os.Stderr, "nvwa-sim: abort checkpoint:", err)
+				return
+			}
+			fmt.Fprintln(os.Stderr, "nvwa-sim: watchdog abort state checkpointed to", p)
+		}
 	}
-	rep, runErr := acc.RunChecked(seqs)
+
+	var rep *nvwa.Report
+	var runErr error
+	if *ckptDir != "" || *resume != "" {
+		rep, runErr = runCheckpointed(aligner, opts, seqs, *ckptEvery, *ckptDir, *resume)
+		if rep == nil {
+			fail(runErr)
+		}
+	} else {
+		// The sharded constructor delegates to the plain accelerator when
+		// shards <= 1, so this single path is byte-identical to the
+		// unsharded simulator at -shards 1.
+		acc, err := nvwa.NewShardedAccelerator(aligner, nvwa.ShardedOptions{
+			Options: opts, Shards: *shards, Policy: pol,
+			CheckpointEvery: *ckptEvery,
+		})
+		if err != nil {
+			fail(err)
+		}
+		rep, runErr = acc.RunChecked(seqs)
+	}
 
 	if ob != nil {
 		if err := ob.Inv.Err(); err != nil {
@@ -266,6 +322,10 @@ func main() {
 	fmt.Printf("aligned:       %d/%d reads\n", aligned, rep.Reads)
 	fmt.Printf("energy:        %.3g J (%.2f W avg, %.3g J/read)\n",
 		rep.Energy.TotalJ, rep.Energy.AvgPowerW, rep.Energy.PerReadJ)
+	if rc := rep.Recovery; rc != nil {
+		fmt.Printf("recovery:      %d crashes, %d cycles replayed; %d checkpoints (%d bytes)\n",
+			rc.Crashes, rc.ReplayedCycles, rc.Checkpoints, rc.CheckpointBytes)
+	}
 	if f := rep.Faults; f != nil {
 		fmt.Printf("faults:        %d planned, %d injected (%d absorbed, %d expired)\n",
 			f.Planned, f.Injected, f.Absorbed, f.Expired)
@@ -283,6 +343,56 @@ func main() {
 	if runErr != nil {
 		fail(fmt.Errorf("watchdog: %w", runErr))
 	}
+}
+
+// runCheckpointed runs the unsharded simulator incrementally,
+// snapshotting every `every` cycles into dir (when every > 0) and
+// optionally starting from a resume checkpoint instead of cycle 0. The
+// returned report is byte-identical to an uninterrupted Run: stepping
+// and snapshotting never perturb the event schedule.
+func runCheckpointed(a *nvwa.Aligner, opts nvwa.Options, seqs []nvwa.Sequence, every int64, dir, resume string) (*nvwa.Report, error) {
+	var sys *nvwa.Accelerator
+	if resume != "" {
+		ck, err := nvwa.ReadCheckpoint(resume)
+		if err != nil {
+			return nil, err
+		}
+		sys, err = nvwa.RestoreAccelerator(a, opts, seqs, ck)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "nvwa-sim: resumed at cycle %d (%d events replayed)\n", ck.Cycle, ck.Fired)
+	} else {
+		var err error
+		sys, err = nvwa.NewAccelerator(a, opts)
+		if err != nil {
+			return nil, err
+		}
+		sys.Feed(seqs)
+	}
+	const horizon = int64(math.MaxInt64 >> 1) // run to quiescence
+	boundary := horizon
+	if every > 0 {
+		boundary = every * (sys.Now()/every + 1)
+	}
+	for {
+		done, err := sys.StepUntil(boundary)
+		if done || err != nil {
+			break // a watchdog abort is checkpointed by OnAbort and latched
+		}
+		if every > 0 && boundary < horizon {
+			ck, err := sys.Snapshot()
+			if err != nil {
+				return nil, err
+			}
+			p := filepath.Join(dir, fmt.Sprintf("ckpt-%012d.ckpt", boundary))
+			if err := nvwa.WriteCheckpoint(p, ck); err != nil {
+				return nil, err
+			}
+			boundary += every
+		}
+	}
+	return sys.DrainChecked()
 }
 
 // parseFaults decodes -faults: an explicit wire-form plan ("v1;...")

@@ -52,6 +52,9 @@ type batchTask struct {
 	next    int
 }
 
+// TaskKind implements sim.TaskKind for diagnostics.
+func (t *batchTask) TaskKind() string { return "batch" }
+
 // Fire implements sim.Task. Consecutive entries that complete at the
 // same cycle are fired inline without a heap round-trip: the reserved
 // sequence numbers between two same-cycle neighbours all belong to

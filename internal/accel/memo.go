@@ -46,6 +46,12 @@ type Memo struct {
 	// configuration — degraded runs must recompute through the live
 	// path rather than inherit fault-free results.
 	planHash uint64
+	// resumeHash keys the cache to a checkpoint-resume identity
+	// (ckpt.Checkpoint.Hash; 0 = fresh run). A resumed System carries a
+	// nonzero Options.ResumeHash, so a memo warmed for a fresh run can
+	// never alias into a resumed one (or vice versa) — the replayed
+	// prefix must recompute through the same path the original took.
+	resumeHash uint64
 	// shards caches derived per-shard views, keyed on (policy, shard
 	// count). Behind a pointer so Memo stays shallow-copyable.
 	shards *memoShardCache
@@ -170,6 +176,23 @@ func (m *Memo) KeyedTo(planHash uint64) *Memo {
 	return m
 }
 
+// CoversResume reports whether the memo is keyed to the given
+// checkpoint-resume hash (Options.ResumeHash; 0 = fresh run). Same
+// conservatism as CoversPlan: the functional results are
+// resume-invariant, but a resumed run must never silently consume a
+// cache warmed for a different execution identity.
+func (m *Memo) CoversResume(resumeHash uint64) bool { return m != nil && m.resumeHash == resumeHash }
+
+// KeyedToResume re-keys the memo to a checkpoint-resume hash and
+// returns it, so a resumed run can deliberately reuse a warmed cache:
+// memo.KeyedToResume(ck.Hash()).
+func (m *Memo) KeyedToResume(resumeHash uint64) *Memo {
+	if m != nil {
+		m.resumeHash = resumeHash
+	}
+	return m
+}
+
 // Reads returns the workload the memo was built for.
 func (m *Memo) Reads() []seq.Seq { return m.reads }
 
@@ -235,7 +258,7 @@ func (m *Memo) ShardViews(pol ShardPolicy, s int, parts [][]int) []*Memo {
 	views := make([]*Memo, s)
 	for i, part := range parts {
 		v := &Memo{
-			front: m.front, ext: m.ext, planHash: m.planHash,
+			front: m.front, ext: m.ext, planHash: m.planHash, resumeHash: m.resumeHash,
 			reads: make([]seq.Seq, len(part)),
 			per:   make([]memoRead, len(part)),
 		}

@@ -72,6 +72,41 @@ type Report struct {
 	// resolution order (see StealEvent). Empty under the static
 	// policies and on unsharded runs, so those Reports are unchanged.
 	StealLog []StealEvent `json:",omitempty"`
+	// Recovery is the crash-recovery ledger: chip-crash restarts and
+	// their checkpoint/replay costs. nil when no shard crashed and no
+	// checkpointing ran, so existing Reports are unchanged
+	// byte-for-byte. It is driver-side accounting — the simulated
+	// results above are pinned identical to the crash-free run's — and
+	// is summed by the sharded merge, never by MergeAcc.
+	Recovery *RecoveryStats `json:",omitempty"`
+}
+
+// RecoveryStats accounts for crash recovery across one run.
+type RecoveryStats struct {
+	// Crashes is the number of chip-crash events absorbed (each kills
+	// one shard, which restarts from its last checkpoint).
+	Crashes int
+	// ReplayedCycles is the total simulated work lost to crashes: for
+	// each crash, the cycles between the restored checkpoint and the
+	// crash point, re-simulated after restart.
+	ReplayedCycles int64
+	// Checkpoints is the number of snapshots taken (periodic + the one
+	// implicit fresh-start snapshot per crash recovery that had no
+	// periodic checkpoint yet counts 0).
+	Checkpoints int
+	// CheckpointBytes is the total encoded size of those snapshots.
+	CheckpointBytes int64
+}
+
+// add folds another ledger into r (shard merge).
+func (r *RecoveryStats) add(o *RecoveryStats) {
+	if o == nil {
+		return
+	}
+	r.Crashes += o.Crashes
+	r.ReplayedCycles += o.ReplayedCycles
+	r.Checkpoints += o.Checkpoints
+	r.CheckpointBytes += o.CheckpointBytes
 }
 
 // TracebackStats is the run-level traceback accounting (see

@@ -1,11 +1,13 @@
 package accel
 
 import (
+	"nvwa/internal/ckpt"
 	"nvwa/internal/coordinator"
 	"nvwa/internal/core"
 	"nvwa/internal/eu"
 	"nvwa/internal/pipeline"
 	"nvwa/internal/seq"
+	"nvwa/internal/sim"
 	"nvwa/internal/su"
 )
 
@@ -28,35 +30,138 @@ func (s *System) Run(reads []seq.Seq) *Report {
 // error means the configured sim.Watchdog diagnosed a cycle-budget or
 // no-progress abort, and the report covers only the simulated prefix
 // (its FaultSummary carries the same diagnosis).
+//
+// RunChecked is a thin wrapper over the incremental engine: one Feed,
+// a run to quiescence, then DrainChecked — byte-identical to the
+// historical run-to-completion loop.
 func (s *System) RunChecked(reads []seq.Seq) (*Report, error) {
-	s.reads = reads
-	s.results = make([]pipeline.Result, len(reads))
-	s.bestHit = make([]int, len(reads))
-	for i := range s.bestHit {
-		s.bestHit[i] = -1
+	s.Feed(reads)
+	s.runEngine()
+	return s.DrainChecked()
+}
+
+// Feed appends reads to the system's input. The first Feed schedules
+// the seeding-phase init events; later Feeds wake any seeding units
+// that had parked on exhausted input, so a simulation can be fed
+// incrementally — between Step slices — instead of all at once. Each
+// Feed is recorded at the engine's exact fired-event position, which
+// is what lets a checkpoint replay mid-run feeds at precisely the
+// right point in the event schedule.
+func (s *System) Feed(reads []seq.Seq) {
+	s.feedLog = append(s.feedLog, ckpt.FeedRec{Fired: s.eng.Fired(), N: int64(len(reads))})
+	s.reads = append(s.reads, reads...)
+	for range reads {
+		s.results = append(s.results, pipeline.Result{})
+		s.bestHit = append(s.bestHit, -1)
 	}
 	if s.flt != nil {
-		s.flt.hadHits = make([]bool, len(reads))
+		s.flt.hadHits = append(s.flt.hadHits, make([]bool, len(reads))...)
 	}
+	if !s.started {
+		s.started = true
+		switch s.opts.SeedStrategy {
+		case OneCycle:
+			if s.opts.BatchedSU {
+				s.eng.At(0, s.startAllOneCycle)
+			} else {
+				for _, u := range s.sus {
+					uu := u
+					s.eng.At(0, func() { s.startOneCycle(uu) })
+				}
+			}
+		case ReadInBatch:
+			s.eng.At(0, s.issueBatch)
+		}
+		return
+	}
+	s.wakeSeeding()
+}
 
+// wakeSeeding revives seeding after a mid-run Feed: units that
+// stopped because input looked exhausted pick the new reads up. A
+// woken unit that loses the race for a read simply parks again, so
+// waking is always safe; what matters for determinism is that the
+// wake decisions are a pure function of (unit states, feed position),
+// which replay reproduces exactly.
+func (s *System) wakeSeeding() {
 	switch s.opts.SeedStrategy {
 	case OneCycle:
-		if s.opts.BatchedSU {
-			s.eng.At(0, s.startAllOneCycle)
-		} else {
-			for _, u := range s.sus {
-				uu := u
-				s.eng.At(0, func() { s.startOneCycle(uu) })
+		for _, u := range s.sus {
+			if u.State() != core.Stopped {
+				continue
 			}
+			if s.flt != nil && s.flt.inj.SUFailed(u.ID()) {
+				continue
+			}
+			s.startOneCycle(u)
 		}
 	case ReadInBatch:
-		s.eng.At(0, s.issueBatch)
+		// The batch barrier re-arms only when every unit has parked;
+		// if any unit is still busy the open barrier will collect the
+		// new reads on its own.
+		healthy := false
+		stopped := true
+		for _, u := range s.sus {
+			if u.State() != core.Stopped {
+				stopped = false
+			}
+			if s.flt == nil || !s.flt.inj.SUFailed(u.ID()) {
+				healthy = true
+			}
+		}
+		if stopped && healthy {
+			s.eng.After(1, s.issueBatch)
+		}
 	}
-	s.runEngine()
+}
+
+// Step advances the simulation by budget cycles (events scheduled
+// beyond the stepped-to horizon stay queued) and reports whether the
+// event queue is empty — i.e. the run has reached quiescence and
+// DrainChecked may finalize it. The horizon is a monotone cursor, not
+// now+budget: firing no events does not advance the clock, so the
+// cursor is what lets repeated small steps make progress across an
+// event gap. A watchdog abort surfaces as the error and latches:
+// further Steps are no-ops. Watchdog budgets accumulate across Steps
+// exactly as they would across one continuous run.
+func (s *System) Step(budget int64) (bool, error) {
+	if budget < 1 {
+		budget = 1
+	}
+	if now := s.eng.Now(); s.stepCursor < now {
+		s.stepCursor = now
+	}
+	s.stepCursor += budget
+	return s.StepUntil(s.stepCursor)
+}
+
+// StepUntil advances the simulation up to and including the given
+// cycle; see Step.
+func (s *System) StepUntil(cycle int64) (bool, error) {
+	if s.wdErr == nil {
+		if err := s.eng.RunBounded(cycle, -1, s.opts.Watchdog, &s.wdState); err != nil {
+			s.wdErr = err
+			s.fireAbort()
+		}
+	}
+	return s.eng.Pending() == 0, s.wdErr
+}
+
+// Pending returns the number of queued simulation events; 0 means the
+// main phase has reached quiescence.
+func (s *System) Pending() int { return s.eng.Pending() }
+
+// Now returns the current simulation cycle.
+func (s *System) Now() int64 { return s.eng.Now() }
+
+// DrainChecked finalizes an incrementally-driven run: it enforces the
+// end-of-input drain contract, parks every unit, and builds the
+// Report. It is the tail of the historical run-to-completion path;
+// RunChecked ≡ Feed + run-to-quiescence + DrainChecked.
+func (s *System) DrainChecked() (*Report, error) {
 	if s.wdErr == nil {
 		s.drain()
 	}
-
 	end := s.eng.Now()
 	if o := s.opts.Obs; o != nil && s.wdErr == nil {
 		o.Inv.CheckDrained(end, s.buffer.SBLen(), s.buffer.PBRemaining(), len(s.blocked))
@@ -70,16 +175,40 @@ func (s *System) RunChecked(reads []seq.Seq) (*Report, error) {
 	return s.report(end), s.wdErr
 }
 
-// runEngine drives the event loop, under the configured watchdog when
-// one is set. The first watchdog trip is latched in wdErr and stops
-// all further processing.
+// runEngine drives the main phase to quiescence, under the configured
+// watchdog when one is set. The first watchdog trip is latched in
+// wdErr and stops all further processing. The persistent wdState
+// makes the budgets identical whether the phase runs in one call here
+// or sliced through Step.
 func (s *System) runEngine() {
-	if s.opts.Watchdog == nil {
-		s.eng.Run()
+	if err := s.eng.RunBounded(-1, -1, s.opts.Watchdog, &s.wdState); err != nil {
+		s.wdErr = err
+		s.fireAbort()
+	}
+}
+
+// drainEngine drives one drain-loop iteration's events. Each
+// iteration gets fresh watchdog progress counters (matching the
+// historical per-call RunGuarded semantics): the drain loop's own
+// no-progress detection, not the accumulated main-phase counters,
+// bounds it.
+func (s *System) drainEngine() {
+	var st sim.GuardState
+	if err := s.eng.RunBounded(-1, -1, s.opts.Watchdog, &st); err != nil {
+		s.wdErr = err
+	}
+}
+
+// fireAbort hands the OnAbort hook a checkpoint of the exact abort
+// synchronization point. The snapshot deliberately excludes the
+// latched error: replaying it reconstructs the state right before the
+// fatal event, so the artifact can resume under a raised budget.
+func (s *System) fireAbort() {
+	if s.opts.OnAbort == nil {
 		return
 	}
-	if _, err := s.eng.RunGuarded(s.opts.Watchdog); err != nil {
-		s.wdErr = err
+	if ck, err := s.Snapshot(); err == nil {
+		s.opts.OnAbort(ck)
 	}
 }
 
@@ -96,6 +225,9 @@ type suTask struct {
 	hits    []core.Hit
 	started bool
 }
+
+// TaskKind implements sim.TaskKind for diagnostics.
+func (t *suTask) TaskKind() string { return "su" }
 
 // Fire implements sim.Task.
 func (t *suTask) Fire() {
@@ -399,6 +531,9 @@ type roundTask struct {
 	assigned []coordinator.Assignment
 }
 
+// TaskKind implements sim.TaskKind for diagnostics.
+func (t *roundTask) TaskKind() string { return "round" }
+
 // Fire implements sim.Task.
 func (t *roundTask) Fire() {
 	s, assigned := t.s, t.assigned
@@ -469,7 +604,7 @@ func (s *System) drain() {
 		pb, sb, bl, at := s.buffer.PBRemaining(), s.buffer.SBLen(), len(s.blocked), s.eng.Now()
 		s.maybeSwitch()
 		s.tryRound()
-		s.runEngine()
+		s.drainEngine()
 		if s.wdErr != nil {
 			return
 		}
@@ -521,6 +656,9 @@ type euTask struct {
 	u   *eu.Unit
 	ext core.Extension
 }
+
+// TaskKind implements sim.TaskKind for diagnostics.
+func (t *euTask) TaskKind() string { return "eu" }
 
 // Fire implements sim.Task.
 func (t *euTask) Fire() {

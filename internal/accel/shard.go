@@ -127,6 +127,15 @@ type ShardedOptions struct {
 	// Workers bounds concurrent shard simulations; <= 0 means
 	// GOMAXPROCS. The merged Report is invariant to Workers.
 	Workers int
+	// CheckpointEvery snapshots every shard at each multiple of this
+	// many cycles (0 disables). Checkpoints are what chip-crash events
+	// in Faults recover from: a crashed shard restarts from its last
+	// snapshot and re-simulates the lost span, and the merged Report
+	// stays identical to the crash-free run's — only Report.Recovery
+	// records the crash count, replayed cycles, and checkpoint
+	// traffic. With no crashes in the plan, checkpointing is pure
+	// overhead accounting (plus abort artifacts via OnAbort).
+	CheckpointEvery int64
 }
 
 // ShardedSystem runs S independent System instances over a partitioned
@@ -159,6 +168,25 @@ func NewSharded(aligner *pipeline.Aligner, opts ShardedOptions) (*ShardedSystem,
 	case ShardContiguous, ShardInterleaved, ShardBalanced:
 	default:
 		return nil, fmt.Errorf("accel: invalid shard policy %d (valid policies: contiguous, interleaved, balanced)", int(opts.Policy))
+	}
+	if opts.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("accel: invalid checkpoint interval %d (want >= 0; 0 disables)", opts.CheckpointEvery)
+	}
+	// Chip-crash events address shards; they are consumed by the
+	// recovery layer here, never injected, so they are validated
+	// against the shard topology up front.
+	_, crashes := fault.SplitChipCrashes(opts.Faults)
+	for i, ev := range crashes {
+		if ev.Unit < 0 || ev.Unit >= opts.Shards {
+			return nil, fmt.Errorf("accel: %s targets shard %d, but the system has %d shards", ev.Kind, ev.Unit, opts.Shards)
+		}
+		if ev.Cycle < 1 {
+			return nil, fmt.Errorf("accel: %s at cycle %d: a crash must land at cycle >= 1, after the shard has started", ev.Kind, ev.Cycle)
+		}
+		// crashes are canonically ordered, so duplicates are adjacent.
+		if i > 0 && crashes[i-1].Unit == ev.Unit && crashes[i-1].Cycle == ev.Cycle {
+			return nil, fmt.Errorf("accel: duplicate %s kills shard %d twice at cycle %d", ev.Kind, ev.Unit, ev.Cycle)
+		}
 	}
 	return &ShardedSystem{opts: opts, aligner: aligner, acc: NewMergeAcc()}, nil
 }
@@ -195,12 +223,38 @@ func (ss *ShardedSystem) RunChecked(reads []seq.Seq) (*Report, error) {
 // Shards <= 1, where the unsharded System runs directly).
 func (ss *ShardedSystem) RunDetailed(reads []seq.Seq) (*Report, []*Report, error) {
 	o := ss.opts
+	// The recovery layer consumes chip-crash events before anything is
+	// partitioned or injected: the injectable schedule (rest) is what
+	// every shard simulates, which is why a crashed-and-recovered run's
+	// merged Report is identical to the crash-free run over rest.
+	rest, crashEvs := fault.SplitChipCrashes(o.Faults)
+	crashCycles := make(map[int][]int64)
+	for _, ev := range crashEvs {
+		crashCycles[ev.Unit] = append(crashCycles[ev.Unit], ev.Cycle)
+	}
+
 	if o.Shards <= 1 {
-		sys, err := New(ss.aligner, o.Options)
-		if err != nil {
-			return nil, nil, err
+		if len(crashEvs) == 0 && o.CheckpointEvery <= 0 {
+			// Legacy direct path: byte-identical to New + RunChecked.
+			sys, err := New(ss.aligner, o.Options)
+			if err != nil {
+				return nil, nil, err
+			}
+			rep, runErr := sys.RunChecked(reads)
+			return rep, nil, runErr
 		}
-		rep, runErr := sys.RunChecked(reads)
+		so := o.Options
+		so.Faults = rest
+		rep, fo, runErr := runRecovered(ss.aligner, so, o.Obs, 0, reads, crashCycles[0], o.CheckpointEvery)
+		if rep == nil {
+			return nil, nil, runErr
+		}
+		if parent := o.Obs; parent != nil && fo != nil {
+			parent.Metrics.Absorb(fo.Metrics, 0)
+			parent.Trace.Absorb(fo.Trace, 0)
+			parent.Inv.AbsorbShard(fo.Inv, 0)
+			finalizeMergedObs(parent, rep)
+		}
 		return rep, nil, runErr
 	}
 
@@ -216,14 +270,14 @@ func (ss *ShardedSystem) RunDetailed(reads []seq.Seq) (*Report, []*Report, error
 	} else {
 		parts = PartitionReads(len(reads), s, o.Policy)
 	}
-	plans := fault.PartitionPlan(o.Faults, s, o.Config.NumSUs, o.Config.TotalEUs())
+	plans := fault.PartitionPlan(rest, s, o.Config.NumSUs, o.Config.TotalEUs())
 
 	// Per-shard memo views: derived only when the parent memo covers
 	// this exact workload and fault plan, so the plan-keying discipline
 	// (a cache never serves a configuration it was not warmed for)
 	// survives sharding.
 	var views []*Memo
-	if o.Memo != nil && len(o.Memo.Reads()) == len(reads) && o.Memo.CoversPlan(o.Faults.Hash()) {
+	if o.Memo != nil && len(o.Memo.Reads()) == len(reads) && o.Memo.CoversPlan(rest.Hash()) {
 		views = o.Memo.ShardViews(o.Policy, s, parts)
 	}
 
@@ -267,8 +321,6 @@ func (ss *ShardedSystem) RunDetailed(reads []seq.Seq) (*Report, []*Report, error
 				}
 				so := o.Options
 				so.Faults = plans[i]
-				so.Obs = obs.Mirror(o.Obs)
-				shardObs[i] = so.Obs
 				so.Memo = nil
 				if views != nil {
 					// Shallow per-run copy keyed to the shard's plan, so
@@ -278,6 +330,13 @@ func (ss *ShardedSystem) RunDetailed(reads []seq.Seq) (*Report, []*Report, error
 					v.planHash = plans[i].Hash()
 					so.Memo = &v
 				}
+				if crs := crashCycles[i]; len(crs) > 0 || o.CheckpointEvery > 0 {
+					rep, fo, runErr := runRecovered(ss.aligner, so, o.Obs, i, shardReads[i], crs, o.CheckpointEvery)
+					reps[i], shardObs[i], errs[i] = rep, fo, runErr
+					continue
+				}
+				so.Obs = obs.Mirror(o.Obs)
+				shardObs[i] = so.Obs
 				sys, err := New(ss.aligner, so)
 				if err != nil {
 					errs[i] = fmt.Errorf("shard %d: %w", i, err)
@@ -320,6 +379,20 @@ func (ss *ShardedSystem) merge(reads []seq.Seq, reps []*Report, parts [][]int,
 	merged.Description = ss.Describe()
 	merged.StealLog = stealLog
 
+	// Recovery accounting sums outside MergeAcc: it is driver-side
+	// bookkeeping, absent from crash-free shards, and must not perturb
+	// the simulated-report reductions the reference-merge oracle pins.
+	var recovery *RecoveryStats
+	for _, rep := range reps {
+		if rep.Recovery != nil {
+			if recovery == nil {
+				recovery = &RecoveryStats{}
+			}
+			recovery.add(rep.Recovery)
+		}
+	}
+	merged.Recovery = recovery
+
 	// Exact scatter: shard-local per-read results and hit ledgers back
 	// onto the global index space, in shard order.
 	merged.Results = make([]pipeline.Result, len(reads))
@@ -349,7 +422,11 @@ func (ss *ShardedSystem) merge(reads []seq.Seq, reps []*Report, parts [][]int,
 	}
 	if anyFaults {
 		fs := fault.MergeSummaries(sums, parts)
-		fs.PlanHash = o.Faults.Hash()
+		// Stamped with the stripped (injectable) plan's hash: the chip
+		// crashes were consumed by the recovery layer, never injected,
+		// so the merged fault ledger matches the crash-free run's.
+		rest, _ := fault.SplitChipCrashes(o.Faults)
+		fs.PlanHash = rest.Hash()
 		fs.DegradedThroughputRPS = merged.ThroughputReadsPerSec
 		merged.Faults = &fs
 	}

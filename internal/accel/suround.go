@@ -56,6 +56,9 @@ type suRoundTask struct {
 	next    int
 }
 
+// TaskKind implements sim.TaskKind for diagnostics.
+func (t *suRoundTask) TaskKind() string { return "seed-round" }
+
 // Fire implements sim.Task. Consecutive entries that start at the same
 // cycle are fired inline without a heap round-trip: the reserved
 // sequence numbers between two same-cycle neighbours all belong to

@@ -14,6 +14,7 @@ package accel
 import (
 	"fmt"
 
+	"nvwa/internal/ckpt"
 	"nvwa/internal/coordinator"
 	"nvwa/internal/core"
 	"nvwa/internal/eu"
@@ -114,6 +115,19 @@ type Options struct {
 	// detection), turning livelock or runaway degradation into a
 	// diagnosed error from RunChecked instead of a hang. nil disables.
 	Watchdog *sim.Watchdog
+	// OnAbort, when set, receives a checkpoint taken at the exact
+	// synchronization point where the watchdog tripped (main phase
+	// only), so a diagnosed hang becomes a resumable artifact: restore
+	// it under a larger budget and the run continues from right before
+	// the abort. The hook must not mutate the system.
+	OnAbort func(*ckpt.Checkpoint)
+	// ResumeHash marks this system as restored from the checkpoint
+	// with that identity (ckpt.Checkpoint.Hash). It is set by Restore,
+	// not by callers. A non-zero ResumeHash changes no simulation
+	// behaviour, but it keys caches: an attached Memo is consumed only
+	// if it was explicitly keyed to the same resume identity, so a
+	// resumed run can never alias a fresh run's cache entries.
+	ResumeHash uint64
 }
 
 // NvWaOptions returns the full NvWa system (all three mechanisms on).
@@ -157,6 +171,27 @@ type System struct {
 	wdErr   error       // latched watchdog diagnosis
 
 	reads []seq.Seq
+
+	// Incremental-run state: started latches the first Feed (which
+	// schedules the seeding init events); feedLog records every Feed
+	// at its exact fired-event position for checkpoint replay; wdState
+	// carries the watchdog's budgets across Step slices so a stepped
+	// run trips exactly where a continuous one would; shard stamps
+	// checkpoints taken inside a sharded worker.
+	started bool
+	feedLog []ckpt.FeedRec
+	wdState sim.GuardState
+	shard   int
+	// stepCursor is Step's monotone horizon; a driver-side convenience
+	// only — the event schedule (and so the checkpoint inventory) never
+	// depends on it.
+	stepCursor int64
+	// wlHash caches HashReads over the fed read set (valid while
+	// wlHashOK and wlHashLen == len(reads); Feed only appends), so
+	// periodic snapshots don't re-digest the whole workload each time.
+	wlHash    uint64
+	wlHashLen int
+	wlHashOK  bool
 
 	// runtime state
 	nextRead    int
@@ -213,6 +248,13 @@ func New(aligner *pipeline.Aligner, opts Options) (*System, error) {
 	if err := opts.Faults.Validate(); err != nil {
 		return nil, err
 	}
+	if opts.Faults != nil {
+		for _, ev := range opts.Faults.Events {
+			if ev.Kind == fault.ChipCrash {
+				return nil, fmt.Errorf("accel: %s targets a shard, not a unit: chip crashes are consumed by the sharded recovery layer (use NewSharded), not injectable into a single System", ev.Kind)
+			}
+		}
+	}
 	if opts.TraceBuckets <= 0 {
 		opts.TraceBuckets = 100
 	}
@@ -233,7 +275,7 @@ func New(aligner *pipeline.Aligner, opts Options) (*System, error) {
 		front = opts.Seeder
 	}
 	var ext eu.Extender = aligner
-	if opts.Memo.Replays(front) && opts.Memo.CoversPlan(opts.Faults.Hash()) {
+	if opts.Memo.Replays(front) && opts.Memo.CoversPlan(opts.Faults.Hash()) && opts.Memo.CoversResume(opts.ResumeHash) {
 		// Replay mode: the units consume precomputed functional results
 		// and the event loop models only cycle costs. The memo is keyed
 		// to a fault-plan hash as well as its front end, so a cache
@@ -302,6 +344,10 @@ func newStatsAllocator(opts Options) *coordinator.Allocator {
 	a.SetStatsSizes(extsched.PowerOfTwoSizes(4, 16))
 	return a
 }
+
+// setShard stamps the shard index carried in checkpoints taken by
+// this system (0 for unsharded runs).
+func (s *System) setShard(i int) { s.shard = i }
 
 // Describe summarises the instance for logs.
 func (s *System) Describe() string {

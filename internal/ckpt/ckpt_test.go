@@ -1,0 +1,137 @@
+package ckpt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sample() *Checkpoint {
+	var e Encoder
+	e.Section("engine")
+	e.PutI64(1234)
+	e.PutBool(true)
+	e.PutF64(3.5)
+	e.PutStr("su")
+	st := e.Bytes()
+	return &Checkpoint{
+		Version:      Version,
+		Shard:        2,
+		Cycle:        10_000,
+		Fired:        987_654,
+		Seq:          42,
+		WorkloadHash: 0xdeadbeef,
+		OptionsHash:  0xfeedface,
+		PlanHash:     0x1234,
+		FeedLog:      []FeedRec{{Fired: 0, N: 100}, {Fired: 55, N: 7}},
+		State:        st,
+		StateHash:    fnvSum(st),
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	t.Parallel()
+	c := sample()
+	b := c.Encode()
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", c, got)
+	}
+	if !bytes.Equal(got.Encode(), b) {
+		t.Fatal("re-encode is not byte-identical")
+	}
+	if c.Hash() != got.Hash() {
+		t.Fatal("hash changed across round trip")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	t.Parallel()
+	b := sample().Encode()
+	// Flip one byte in every position: magic, header, state, trailer.
+	for _, pos := range []int{0, 9, 40, len(b) - 20, len(b) - 1} {
+		mut := append([]byte(nil), b...)
+		mut[pos] ^= 0x40
+		if _, err := Decode(mut); err == nil {
+			t.Errorf("corruption at byte %d not detected", pos)
+		}
+	}
+	if _, err := Decode(b[:len(b)-3]); err == nil {
+		t.Error("truncated checkpoint not detected")
+	}
+	if _, err := Decode(append(append([]byte(nil), b...), 0)); err == nil {
+		t.Error("trailing garbage not detected")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty input not detected")
+	}
+}
+
+func TestDecodeRejectsUnknownVersion(t *testing.T) {
+	t.Parallel()
+	c := sample()
+	c.Version = Version + 1
+	if _, err := Decode(c.Encode()); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shard0.ckpt")
+	c := sample()
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temp file left behind")
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c, got) {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+func TestDigestDeterministicAndOrderSensitive(t *testing.T) {
+	t.Parallel()
+	var a, b, c Digest
+	a.I64(1)
+	a.I64(2)
+	b.I64(1)
+	b.I64(2)
+	c.I64(2)
+	c.I64(1)
+	if a.Sum() != b.Sum() {
+		t.Error("same fold sequence, different digest")
+	}
+	if a.Sum() == c.Sum() {
+		t.Error("order-insensitive digest would mask reordering bugs")
+	}
+	var z Digest
+	if z.Sum() != 0 {
+		t.Error("empty digest must be 0")
+	}
+}
+
+func TestEncoderSectionsDisambiguate(t *testing.T) {
+	t.Parallel()
+	// Two different (section, value) splittings must not collide:
+	// the length-prefixed section marker prevents ambiguity.
+	var e1, e2 Encoder
+	e1.Section("ab")
+	e1.PutStr("c")
+	e2.Section("a")
+	e2.PutStr("bc")
+	if bytes.Equal(e1.Bytes(), e2.Bytes()) {
+		t.Fatal("encoder framing is ambiguous")
+	}
+}

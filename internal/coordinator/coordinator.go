@@ -9,6 +9,7 @@ package coordinator
 import (
 	"fmt"
 
+	"nvwa/internal/ckpt"
 	"nvwa/internal/core"
 	"nvwa/internal/obs"
 )
@@ -186,4 +187,26 @@ func (b *HitsBuffer) Drop(n int, reason string) int {
 		b.obs.BufferOccupancy(b.now(), len(b.sb), b.PBRemaining())
 	}
 	return n
+}
+
+// EncodeState writes the buffer's canonical state inventory: both
+// queue fills, the PB consumption offset, the switch counter, and a
+// digest over every queued hit record. Depth and threshold are
+// configuration, covered by the options hash instead.
+func (b *HitsBuffer) EncodeState(enc *ckpt.Encoder) {
+	enc.Section("coordinator.HitsBuffer")
+	enc.PutInt(len(b.sb))
+	enc.PutInt(len(b.pb))
+	enc.PutInt(b.offset)
+	enc.PutInt(b.switches)
+	var d ckpt.Digest
+	for _, h := range b.sb {
+		h.Fold(&d)
+	}
+	enc.PutU64(d.Sum())
+	d = ckpt.Digest{}
+	for _, h := range b.pb {
+		h.Fold(&d)
+	}
+	enc.PutU64(d.Sum())
 }

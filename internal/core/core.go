@@ -4,7 +4,11 @@
 // system configuration.
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"nvwa/internal/ckpt"
+)
 
 // Read is a sequencing read staged in the accelerator's read memory.
 type Read struct {
@@ -39,6 +43,25 @@ type Hit struct {
 	ReadLen int
 	// SeedScore is the score contributed by the exact seed match.
 	SeedScore int
+}
+
+// Fold folds every field of the hit into a checkpoint digest, in
+// declaration order. Queued-hit sets (scheduler buffers, retry
+// queues) digest their contents this way instead of storing each
+// record in the state inventory.
+func (h Hit) Fold(d *ckpt.Digest) {
+	d.I64(int64(h.ReadIdx))
+	d.I64(int64(h.HitIdx))
+	rev := int64(0)
+	if h.Rev {
+		rev = 1
+	}
+	d.I64(rev)
+	d.I64(int64(h.ReadBeg))
+	d.I64(int64(h.ReadEnd))
+	d.I64(int64(h.RefPos))
+	d.I64(int64(h.ReadLen))
+	d.I64(int64(h.SeedScore))
 }
 
 // ExtLen returns the number of read bases outside the exact seed (the

@@ -8,6 +8,7 @@
 package eu
 
 import (
+	"nvwa/internal/ckpt"
 	"nvwa/internal/core"
 	"nvwa/internal/obs"
 	"nvwa/internal/pipeline"
@@ -195,4 +196,20 @@ func (u *Unit) Execute(now int64, oriented seq.Seq, h core.Hit) (core.Extension,
 		u.obs.EUTraceback(now, tb.Cycles, ext.RefSpan(), ext.ReadSpan(), tb.Spilled)
 	}
 	return ext, now + cycles
+}
+
+// EncodeState writes the unit's canonical state inventory.
+func (u *Unit) EncodeState(enc *ckpt.Encoder) {
+	enc.Section("eu.Unit")
+	enc.PutInt(u.id)
+	enc.PutInt(u.class)
+	enc.PutInt(int(u.state))
+	enc.PutInt(u.tasks)
+	enc.PutI64(u.fillCycles)
+	enc.PutI64(u.occupancy)
+	enc.PutI64(u.busyPECycles)
+	enc.PutI64(u.tbCycles)
+	enc.PutI64(u.tbSpills)
+	enc.PutI64(u.tbSpillCyc)
+	u.Tracker.EncodeState(enc)
 }

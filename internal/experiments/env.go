@@ -163,10 +163,11 @@ func (e *Env) runSharded(o accel.Options, r *Runner) *accel.Report {
 		inv = ob.Inv
 	}
 	so := accel.ShardedOptions{
-		Options: o,
-		Shards:  r.Shards(),
-		Policy:  r.ShardPolicy(),
-		Workers: r.Workers(),
+		Options:         o,
+		Shards:          r.Shards(),
+		Policy:          r.ShardPolicy(),
+		Workers:         r.Workers(),
+		CheckpointEvery: r.CheckpointEvery(),
 	}
 	sys, err := accel.NewSharded(e.Aligner, so)
 	if err != nil {

@@ -24,11 +24,12 @@ import (
 // collection order is the program order, never the completion order.
 // The golden tests in determinism_test.go enforce the contract.
 type Runner struct {
-	workers int
-	memo    bool
-	swRPS   float64
-	shards  int
-	policy  accel.ShardPolicy
+	workers   int
+	memo      bool
+	swRPS     float64
+	shards    int
+	policy    accel.ShardPolicy
+	ckptEvery int64
 }
 
 // Serial returns the bisection-friendly reference policy: one worker,
@@ -75,6 +76,26 @@ func (r *Runner) WithShards(s int, pol accel.ShardPolicy) *Runner {
 	c.shards = s
 	c.policy = pol
 	return &c
+}
+
+// WithCheckpointEvery makes sharded Env-backed runs snapshot every
+// shard at each multiple of n cycles (accel.ShardedOptions.
+// CheckpointEvery): the preemption/recovery machinery runs inside the
+// sweep, and its overhead shows up in wall-clock without perturbing
+// any simulated figure. n <= 0 disables. Unsharded runs ignore it.
+func (r *Runner) WithCheckpointEvery(n int64) *Runner {
+	c := *r
+	c.ckptEvery = n
+	return &c
+}
+
+// CheckpointEvery returns the configured checkpoint interval in
+// cycles (0 = no periodic checkpoints).
+func (r *Runner) CheckpointEvery() int64 {
+	if r == nil || r.ckptEvery < 0 {
+		return 0
+	}
+	return r.ckptEvery
 }
 
 // Shards returns the configured shard count (1 = unsharded).

@@ -44,6 +44,15 @@ const (
 	// drop-with-reason) whenever the staging buffer is at least half
 	// full, modelling downstream backpressure.
 	BufferPressure
+	// ChipCrash kills an entire shard (a whole simulated chip) at
+	// Cycle; Unit is the shard index. It is not injected by the
+	// Injector at all: the sharded scale-out layer strips crashes
+	// from the plan before partitioning (SplitChipCrashes) and
+	// restarts the killed shard from its last periodic checkpoint, so
+	// the merged Report is identical to the crash-free run and the
+	// crash shows up only in the recovery ledger. accel.System
+	// rejects plans that still contain one.
+	ChipCrash
 
 	numKinds
 )
@@ -55,6 +64,7 @@ var kindNames = [numKinds]string{
 	EUFail:         "eu-fail",
 	MemTimeout:     "mem-timeout",
 	BufferPressure: "pressure",
+	ChipCrash:      "chip-crash",
 }
 
 // String names the kind ("su-stall", "eu-fail", ...).
@@ -75,15 +85,16 @@ func KindFromString(s string) (Kind, error) {
 	return 0, fmt.Errorf("fault: unknown kind %q", s)
 }
 
-// UnitScoped reports whether the kind targets a specific unit.
+// UnitScoped reports whether the kind targets a specific unit (for
+// ChipCrash the "unit" is the shard index).
 func (k Kind) UnitScoped() bool {
-	return k == SUStall || k == SUFail || k == EUStall || k == EUFail
+	return k == SUStall || k == SUFail || k == EUStall || k == EUFail || k == ChipCrash
 }
 
 // HasDuration reports whether the kind carries a duration (stalls and
-// windows do; permanent failures do not).
+// windows do; permanent failures and crashes do not).
 func (k Kind) HasDuration() bool {
-	return k != SUFail && k != EUFail
+	return k != SUFail && k != EUFail && k != ChipCrash
 }
 
 // Event is one scheduled fault.
@@ -289,6 +300,108 @@ func (p *Plan) canonical() []Event {
 	return evs
 }
 
+// failClass maps a transient kind to the permanent-failure kind that
+// would make it meaningless (SUStall→SUFail, EUStall→EUFail).
+func failClass(k Kind) (Kind, bool) {
+	switch k {
+	case SUStall:
+		return SUFail, true
+	case EUStall:
+		return EUFail, true
+	}
+	return 0, false
+}
+
+// CheckConflicts rejects contradictory schedules: a stall targeting a
+// unit strictly after that unit's permanent failure can never take
+// effect (the injector would let it expire), so a plan stating both
+// is contradictory, and a duplicated chip-crash of the same shard at
+// the same cycle is a double-kill. Benign overlaps — stacked stalls,
+// repeated failures of an already-dead unit — are not errors; they
+// canonicalize away via Normalize. Nil-safe.
+func (p *Plan) CheckConflicts() error {
+	if p.Len() == 0 {
+		return nil
+	}
+	type uk struct {
+		kind Kind
+		unit int
+	}
+	earliestFail := map[uk]Event{}
+	crashes := map[uk]Event{}
+	for _, ev := range p.Events {
+		switch ev.Kind {
+		case SUFail, EUFail:
+			k := uk{ev.Kind, ev.Unit}
+			if cur, ok := earliestFail[k]; !ok || ev.Cycle < cur.Cycle {
+				earliestFail[k] = ev
+			}
+		case ChipCrash:
+			k := uk{ChipCrash, ev.Unit}
+			if prev, ok := crashes[k]; ok && prev.Cycle == ev.Cycle {
+				return fmt.Errorf("fault: contradictory plan: duplicate %s kills shard %d twice at the same cycle", ev.encode(), ev.Unit)
+			}
+			crashes[k] = ev
+		}
+	}
+	for _, ev := range p.Events {
+		fk, ok := failClass(ev.Kind)
+		if !ok {
+			continue
+		}
+		if f, found := earliestFail[uk{fk, ev.Unit}]; found && ev.Cycle > f.Cycle {
+			return fmt.Errorf("fault: contradictory plan: %s targets unit %d after its permanent failure %s", ev.encode(), ev.Unit, f.encode())
+		}
+	}
+	return nil
+}
+
+// Normalize returns the deterministic canonical form of the plan:
+// events sorted by (Cycle, Kind, Unit, Dur), exact duplicates of
+// permanent kinds collapsed, and re-failures of an already-failed
+// unit dropped (the injector treats them as no-ops, so the canonical
+// schedule states each failure once, at its earliest cycle).
+// Contradictory schedules (see CheckConflicts) are rejected. Two
+// plans describing the same effective schedule normalize to the same
+// event list — and therefore the same Encode string and Hash.
+// Nil-safe; a nil or empty plan normalizes to itself.
+func (p *Plan) Normalize() (*Plan, error) {
+	if p.Len() == 0 {
+		return p, nil
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.CheckConflicts(); err != nil {
+		return nil, err
+	}
+	type uk struct {
+		kind Kind
+		unit int
+	}
+	failSeen := map[uk]bool{}
+	out := &Plan{Events: make([]Event, 0, len(p.Events))}
+	for _, ev := range p.canonical() {
+		switch ev.Kind {
+		case SUFail, EUFail:
+			// Canonical order visits the earliest failure first;
+			// later re-failures of the same unit are no-ops.
+			k := uk{ev.Kind, ev.Unit}
+			if failSeen[k] {
+				continue
+			}
+			failSeen[k] = true
+		case ChipCrash:
+			// Same shard crashing at distinct cycles is a legitimate
+			// repeated-crash schedule; exact duplicates were rejected
+			// by CheckConflicts. Stalls and windows stack (their
+			// effects are additive), so duplicates there are kept.
+		}
+		out.Events = append(out.Events, ev)
+	}
+	return out, nil
+}
+
 // Hash is a stable FNV-1a digest of the canonicalized plan. A nil or
 // empty plan hashes to 0, so "no faults" always keys identically
 // regardless of how the absence is expressed. The hash is part of the
@@ -406,20 +519,26 @@ func (s Spec) String() string {
 		s.MemTimeouts, s.Pressures, s.MeanStall, s.MeanWindow)
 }
 
-// ParseSpec parses "seed=7,su-fail=2,..." into a Spec. Unknown keys
-// and malformed values are errors (no silent defaults for typos);
-// omitted keys keep their zero/default values.
+// ParseSpec parses "seed=7,su-fail=2,..." into a Spec. Unknown keys,
+// duplicate keys, and malformed values are errors (no silent
+// defaults for typos, no silent last-wins for repeats); omitted keys
+// keep their zero/default values.
 func ParseSpec(in string) (Spec, error) {
 	var s Spec
 	if strings.TrimSpace(in) == "" {
 		return s, fmt.Errorf("fault: empty spec")
 	}
+	seen := map[string]bool{}
 	for _, kv := range strings.Split(in, ",") {
 		eq := strings.IndexByte(kv, '=')
 		if eq < 0 {
 			return s, fmt.Errorf("fault: spec field %q is not key=value", kv)
 		}
 		key, val := strings.TrimSpace(kv[:eq]), strings.TrimSpace(kv[eq+1:])
+		if seen[key] {
+			return s, fmt.Errorf("fault: spec key %q given twice (a repeat would silently override the first value)", key)
+		}
+		seen[key] = true
 		n, err := strconv.ParseInt(val, 10, 64)
 		if err != nil {
 			return s, fmt.Errorf("fault: spec %s: bad value %q: %v", key, val, err)

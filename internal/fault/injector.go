@@ -1,5 +1,7 @@
 package fault
 
+import "nvwa/internal/ckpt"
+
 // DeadLetter records one hit abandoned after exhausting its retry
 // budget.
 type DeadLetter struct {
@@ -243,4 +245,74 @@ func (in *Injector) Summary() Summary {
 	}
 	s.Expired = s.Injected - s.Absorbed
 	return s
+}
+
+// EncodeState writes the injector's canonical runtime state: which
+// events have armed and been absorbed, pending (unconsumed) stall
+// cycles, window tables, and the mutable summary counters. The plan
+// itself is configuration (covered by the plan hash); this is the
+// state that evolves as the run progresses.
+func (in *Injector) EncodeState(enc *ckpt.Encoder) {
+	enc.Section("fault.Injector")
+	enc.PutInt(len(in.events))
+	var d ckpt.Digest
+	for i := range in.events {
+		b := int64(0)
+		if in.armed[i] {
+			b |= 1
+		}
+		if in.touched[i] {
+			b |= 2
+		}
+		d.I64(b)
+	}
+	enc.PutU64(d.Sum())
+	boolsDigest := func(bs []bool) uint64 {
+		var d ckpt.Digest
+		for _, b := range bs {
+			v := int64(0)
+			if b {
+				v = 1
+			}
+			d.I64(v)
+		}
+		return d.Sum()
+	}
+	enc.PutU64(boolsDigest(in.suFailed))
+	enc.PutU64(boolsDigest(in.euFailed))
+	d = ckpt.Digest{}
+	for u := range in.suStall {
+		d.I64(in.suStall[u])
+		d.I64(int64(len(in.suStallEvs[u])))
+	}
+	for u := range in.euStall {
+		d.I64(in.euStall[u])
+		d.I64(int64(len(in.euStallEvs[u])))
+	}
+	enc.PutU64(d.Sum())
+	enc.PutInt(len(in.memWins))
+	enc.PutInt(len(in.pressWins))
+	s := in.sum
+	enc.PutU64(s.PlanHash)
+	enc.PutInt(s.Planned)
+	enc.PutInt(s.SUFailures)
+	enc.PutInt(s.EUFailures)
+	enc.PutI64(s.SUStallCycles)
+	enc.PutI64(s.EUStallCycles)
+	enc.PutI64(s.MemDelayCycles)
+	enc.PutInt(s.ReadsReseeded)
+	enc.PutInt(s.ReadsAbandoned)
+	enc.PutInt(s.Requeued)
+	enc.PutInt(s.Retried)
+	enc.PutInt(s.DeadLettered)
+	enc.PutInt(s.Shed)
+	enc.PutInt(len(s.DeadLetters))
+	d = ckpt.Digest{}
+	for _, dl := range s.DeadLetters {
+		d.I64(int64(dl.ReadIdx))
+		d.I64(int64(dl.HitIdx))
+		d.I64(int64(dl.Attempts))
+		d.I64(dl.Cycle)
+	}
+	enc.PutU64(d.Sum())
 }

@@ -46,6 +46,12 @@ func PartitionPlan(p *Plan, shards, susPerShard, eusPerShard int) []*Plan {
 	wi := 0
 	for _, ev := range p.canonical() {
 		switch {
+		case ev.Kind == ChipCrash:
+			// Crashes address shards, not units, and are consumed by
+			// the recovery layer (SplitChipCrashes) before
+			// partitioning; one reaching here would be misrouted by
+			// the unit remap, so it is dropped defensively.
+			continue
 		case ev.Kind.UnitScoped():
 			per := susPerShard
 			if ev.Kind == EUStall || ev.Kind == EUFail {
@@ -68,6 +74,45 @@ func PartitionPlan(p *Plan, shards, susPerShard, eusPerShard int) []*Plan {
 		}
 	}
 	return out
+}
+
+// SplitChipCrashes separates a plan into its injectable schedule and
+// its chip-crash events (canonically ordered). Crashes are consumed
+// by the sharded recovery layer — they kill and restart whole shards
+// — while everything else feeds the per-shard injectors; keeping the
+// two disjoint is what makes a crashed-and-recovered run's fault
+// Summary identical to the crash-free run's. When the plan contains
+// no crashes it is returned pointer-equal, preserving the nil-plan
+// and plan-identity fast paths downstream.
+func SplitChipCrashes(p *Plan) (*Plan, []Event) {
+	if p == nil {
+		return nil, nil
+	}
+	n := 0
+	for _, ev := range p.Events {
+		if ev.Kind == ChipCrash {
+			n++
+		}
+	}
+	if n == 0 {
+		return p, nil
+	}
+	rest := &Plan{Events: make([]Event, 0, len(p.Events)-n)}
+	for _, ev := range p.Events {
+		if ev.Kind != ChipCrash {
+			rest.Events = append(rest.Events, ev)
+		}
+	}
+	crashes := make([]Event, 0, n)
+	for _, ev := range (&Plan{Events: p.Events}).canonical() {
+		if ev.Kind == ChipCrash {
+			crashes = append(crashes, ev)
+		}
+	}
+	if rest.Len() == 0 {
+		rest = nil
+	}
+	return rest, crashes
 }
 
 // MergeSummaries reduces per-shard fault accounting into one aggregate

@@ -5,6 +5,8 @@
 // paper's 7 pJ/bit for HBM accesses.
 package mem
 
+import "nvwa/internal/ckpt"
+
 // HBMConfig describes the off-chip memory. Defaults follow the
 // paper's Table I (HBM 1.0, 256 GB/s at a 1 GHz core clock).
 type HBMConfig struct {
@@ -146,3 +148,28 @@ func (s *SPM) EnergyPJ() float64 { return float64(s.accesses) * s.cfg.EnergyPerA
 
 // Capacity returns the scratchpad size in bytes.
 func (s *SPM) Capacity() int { return s.cfg.Bytes }
+
+// EncodeState writes the memory model's canonical state inventory:
+// aggregate statistics plus a digest over per-bank timing state (bank
+// count scales with the configuration, so each bank's row-buffer and
+// queue state folds into one digest).
+func (m *HBM) EncodeState(enc *ckpt.Encoder) {
+	enc.Section("mem.HBM")
+	enc.PutI64(m.stats.Accesses)
+	enc.PutI64(m.stats.RowHits)
+	enc.PutI64(m.stats.RowMisses)
+	enc.PutI64(m.stats.Bytes)
+	enc.PutF64(m.stats.EnergyPJ)
+	enc.PutInt(len(m.banks))
+	var d ckpt.Digest
+	for _, b := range m.banks {
+		d.I64(b.nextFree)
+		d.I64(b.openRow)
+		has := int64(0)
+		if b.hasRow {
+			has = 1
+		}
+		d.I64(has)
+	}
+	enc.PutU64(d.Sum())
+}

@@ -1,6 +1,7 @@
 package seedsched
 
 import (
+	"nvwa/internal/ckpt"
 	"nvwa/internal/mem"
 	"nvwa/internal/obs"
 )
@@ -71,4 +72,17 @@ func (p *ReadSPM) ReadyAt(now int64, idx int) int64 {
 		return at
 	}
 	return now + 1
+}
+
+// EncodeState writes the prefetcher's canonical state inventory: the
+// issued-batch completion schedule (digested — it grows with input
+// length).
+func (p *ReadSPM) EncodeState(enc *ckpt.Encoder) {
+	enc.Section("seedsched.ReadSPM")
+	enc.PutInt(len(p.doneAt))
+	var d ckpt.Digest
+	for _, at := range p.doneAt {
+		d.I64(at)
+	}
+	enc.PutU64(d.Sum())
 }

@@ -5,13 +5,20 @@
 // busy intervals for the Fig. 12 traces.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nvwa/internal/ckpt"
+)
 
 // Engine is a deterministic discrete-event simulator. Events scheduled
 // for the same cycle fire in scheduling order.
 type Engine struct {
 	now    int64
 	seq    int64
+	fired  int64
 	events eventHeap
 	clamps int64
 
@@ -189,6 +196,7 @@ func (e *Engine) AfterTask(delay int64, t Task) { e.AtTask(e.now+delay, t) }
 // fire advances time to the event and runs it.
 func (e *Engine) fire(ev event) {
 	e.now = ev.at
+	e.fired++
 	if e.OnAdvance != nil {
 		e.OnAdvance(e.now)
 	}
@@ -221,6 +229,122 @@ func (e *Engine) RunUntil(cycle int64) {
 
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return e.events.Len() }
+
+// Fired returns the total number of events fired so far. The fired
+// count is the engine's replay coordinate: unlike the cycle, it
+// strictly increases by one per event, so "run until exactly N events
+// have fired" lands on a unique point in the schedule even when many
+// events share a cycle. Checkpoints record it.
+func (e *Engine) Fired() int64 { return e.fired }
+
+// Seq returns the next sequence number the engine would assign.
+// Together with Fired it pins the engine's exact position in the
+// deterministic schedule.
+func (e *Engine) Seq() int64 { return e.seq }
+
+// TaskKind is optionally implemented by Tasks to name themselves in
+// diagnostics (watchdog heap dumps, checkpoint inventories). Closure
+// events report as "fn", anonymous tasks as "task".
+type TaskKind interface {
+	TaskKind() string
+}
+
+// PendingEvent describes one queued event without its payload.
+type PendingEvent struct {
+	At   int64
+	Seq  int64
+	Kind string
+}
+
+func eventKind(ev event) string {
+	if ev.fn != nil {
+		return "fn"
+	}
+	if k, ok := ev.task.(TaskKind); ok {
+		return k.TaskKind()
+	}
+	return "task"
+}
+
+// PendingEvents returns descriptors for every queued event, sorted by
+// firing order (at, seq). The heap itself is not disturbed.
+func (e *Engine) PendingEvents() []PendingEvent {
+	out := make([]PendingEvent, len(e.events))
+	for i, ev := range e.events {
+		out[i] = PendingEvent{At: ev.at, Seq: ev.seq, Kind: eventKind(ev)}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// PendingSummary renders a bounded, human-readable summary of the
+// pending event heap: per-kind counts plus the first k events in
+// firing order. Watchdog errors append it so a stuck-state report
+// says what is stuck, not just when.
+func (e *Engine) PendingSummary(k int) string {
+	evs := e.PendingEvents()
+	if len(evs) == 0 {
+		return "heap empty"
+	}
+	counts := map[string]int{}
+	for _, ev := range evs {
+		counts[ev.Kind]++
+	}
+	kinds := make([]string, 0, len(counts))
+	for name := range counts {
+		kinds = append(kinds, name)
+	}
+	sort.Strings(kinds)
+	var b strings.Builder
+	fmt.Fprintf(&b, "heap: %d pending [", len(evs))
+	for i, name := range kinds {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%d", name, counts[name])
+	}
+	b.WriteString("], next:")
+	if k > len(evs) {
+		k = len(evs)
+	}
+	for _, ev := range evs[:k] {
+		fmt.Fprintf(&b, " %s@%d", ev.Kind, ev.At)
+	}
+	if k < len(evs) {
+		fmt.Fprintf(&b, " …(+%d more)", len(evs)-k)
+	}
+	return b.String()
+}
+
+// pendingNote formats the bounded heap summary as an error suffix.
+func (e *Engine) pendingNote() string {
+	return "; " + e.PendingSummary(8)
+}
+
+// EncodeState writes the engine's canonical state inventory: position
+// counters plus a descriptor of every pending event. Payloads
+// (closures, task structs) are not serializable — restore re-derives
+// them by replay — but the descriptor set proves the replayed heap
+// reached the identical shape.
+func (e *Engine) EncodeState(enc *ckpt.Encoder) {
+	enc.Section("sim.Engine")
+	enc.PutI64(e.now)
+	enc.PutI64(e.seq)
+	enc.PutI64(e.fired)
+	enc.PutI64(e.clamps)
+	evs := e.PendingEvents()
+	enc.PutInt(len(evs))
+	for _, ev := range evs {
+		enc.PutI64(ev.At)
+		enc.PutI64(ev.Seq)
+		enc.PutStr(ev.Kind)
+	}
+}
 
 // Len keeps eventHeap's length accessor for internal callers.
 func (h eventHeap) Len() int { return len(h) }

@@ -1,5 +1,7 @@
 package sim
 
+import "nvwa/internal/ckpt"
+
 // Interval is a half-open busy span [Beg, End) in cycles.
 type Interval struct {
 	Beg, End int64
@@ -77,6 +79,23 @@ func overlap(iv Interval, beg, end int64) int64 {
 		return hi - lo
 	}
 	return 0
+}
+
+// EncodeState writes the tracker's canonical state inventory: current
+// state, accumulated total, and a digest over the closed intervals
+// (storing each interval would make checkpoints grow with run length
+// while the digest detects any divergence equally well).
+func (t *BusyTracker) EncodeState(enc *ckpt.Encoder) {
+	enc.PutBool(t.busy)
+	enc.PutI64(t.busySince)
+	enc.PutI64(t.total)
+	enc.PutInt(len(t.intervals))
+	var d ckpt.Digest
+	for _, iv := range t.intervals {
+		d.I64(iv.Beg)
+		d.I64(iv.End)
+	}
+	enc.PutU64(d.Sum())
 }
 
 // Intervals returns the recorded busy intervals (excluding an open one).

@@ -30,6 +30,71 @@ type Watchdog struct {
 // a few hundred events), yet cheap to hit for a genuine livelock.
 const DefaultMaxEventsPerCycle = 1 << 20
 
+// GuardState carries the watchdog's progress counters across bounded
+// runs. A preempted simulation steps the engine in slices; budgets
+// must accumulate over the whole run, not reset per slice, or a
+// stepped run would survive a livelock that a continuous run
+// diagnoses. The zero value is ready to use.
+type GuardState struct {
+	cycle   int64
+	atCycle int64
+	total   int64
+}
+
+// RunBounded processes events under optional cycle, fired-count and
+// watchdog bounds. Per iteration, in order: an empty heap returns
+// nil; if maxFired >= 0 and the engine has fired that many events it
+// returns nil (the replay stop used by checkpoint restore — checked
+// before the watchdog so replaying up to an aborted run's checkpoint
+// does not re-trip the abort); if limitCycle >= 0 and the next event
+// is beyond it, it returns nil with the event still queued; then the
+// watchdog budgets are enforced against st (nil w skips them); then
+// the event fires. Watchdog errors carry a bounded pending-heap
+// summary.
+func (e *Engine) RunBounded(limitCycle, maxFired int64, w *Watchdog, st *GuardState) error {
+	perCycle := int64(0)
+	if w != nil {
+		perCycle = w.MaxEventsPerCycle
+		if perCycle <= 0 {
+			perCycle = DefaultMaxEventsPerCycle
+		}
+	}
+	for len(e.events) > 0 {
+		if maxFired >= 0 && e.fired >= maxFired {
+			return nil
+		}
+		next := e.events[0].at
+		if limitCycle >= 0 && next > limitCycle {
+			return nil
+		}
+		if w != nil {
+			if w.MaxCycles > 0 && next > w.MaxCycles {
+				return fmt.Errorf(
+					"sim: watchdog: cycle budget %d exceeded (next event at cycle %d, %d events pending)%s",
+					w.MaxCycles, next, len(e.events), e.pendingNote())
+			}
+			if next != st.cycle {
+				st.cycle = next
+				st.atCycle = 0
+			}
+			st.atCycle++
+			if st.atCycle > perCycle {
+				return fmt.Errorf(
+					"sim: watchdog: no progress: %d events fired at cycle %d without advancing time (livelock)%s",
+					st.atCycle, st.cycle, e.pendingNote())
+			}
+			st.total++
+			if w.MaxEvents > 0 && st.total > w.MaxEvents {
+				return fmt.Errorf(
+					"sim: watchdog: event budget %d exceeded at cycle %d (%d events pending)%s",
+					w.MaxEvents, st.cycle, len(e.events), e.pendingNote())
+			}
+		}
+		e.fire(e.events.pop())
+	}
+	return nil
+}
+
 // RunGuarded processes events like Run but under a watchdog. A nil
 // watchdog is exactly Run. On a tripped budget the engine stops with
 // events still queued and returns a diagnosed error alongside the
@@ -39,36 +104,7 @@ func (e *Engine) RunGuarded(w *Watchdog) (int64, error) {
 	if w == nil {
 		return e.Run(), nil
 	}
-	perCycle := w.MaxEventsPerCycle
-	if perCycle <= 0 {
-		perCycle = DefaultMaxEventsPerCycle
-	}
-	var total, atCycle int64
-	cycle := int64(-1)
-	for len(e.events) > 0 {
-		next := e.events[0].at
-		if w.MaxCycles > 0 && next > w.MaxCycles {
-			return e.now, fmt.Errorf(
-				"sim: watchdog: cycle budget %d exceeded (next event at cycle %d, %d events pending)",
-				w.MaxCycles, next, len(e.events))
-		}
-		if next != cycle {
-			cycle = next
-			atCycle = 0
-		}
-		atCycle++
-		if atCycle > perCycle {
-			return e.now, fmt.Errorf(
-				"sim: watchdog: no progress: %d events fired at cycle %d without advancing time (livelock)",
-				atCycle, cycle)
-		}
-		total++
-		if w.MaxEvents > 0 && total > w.MaxEvents {
-			return e.now, fmt.Errorf(
-				"sim: watchdog: event budget %d exceeded at cycle %d (%d events pending)",
-				w.MaxEvents, cycle, len(e.events))
-		}
-		e.fire(e.events.pop())
-	}
-	return e.now, nil
+	var st GuardState
+	err := e.RunBounded(-1, -1, w, &st)
+	return e.now, err
 }

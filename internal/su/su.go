@@ -8,6 +8,7 @@
 package su
 
 import (
+	"nvwa/internal/ckpt"
 	"nvwa/internal/core"
 	"nvwa/internal/fmindex"
 	"nvwa/internal/mem"
@@ -159,4 +160,15 @@ func (u *Unit) Process(now int64, readIdx int, read seq.Seq) ([]core.Hit, int64)
 		u.obs.SUSeed(u.id, readIdx, len(hits), now, done)
 	}
 	return hits, done
+}
+
+// EncodeState writes the unit's canonical state inventory.
+func (u *Unit) EncodeState(enc *ckpt.Encoder) {
+	enc.Section("su.Unit")
+	enc.PutInt(u.id)
+	enc.PutInt(int(u.state))
+	enc.PutInt(u.reads)
+	enc.PutInt(u.hits)
+	enc.PutI64(u.occTotal)
+	u.Tracker.EncodeState(enc)
 }

@@ -28,6 +28,7 @@ package nvwa
 
 import (
 	"nvwa/internal/accel"
+	"nvwa/internal/ckpt"
 	"nvwa/internal/core"
 	"nvwa/internal/fault"
 	"nvwa/internal/genome"
@@ -87,7 +88,23 @@ type (
 	// StealEvent is one resolved work steal of the balanced shard
 	// policy, as recorded in Report.StealLog.
 	StealEvent = accel.StealEvent
+	// Checkpoint is a verified snapshot of a paused simulation: restore
+	// it with RestoreAccelerator and the resumed run is byte-identical
+	// to the uninterrupted one.
+	Checkpoint = ckpt.Checkpoint
+	// RecoveryStats is a Report's crash-recovery ledger (chip-crash
+	// restarts, replayed cycles, checkpoint traffic).
+	RecoveryStats = accel.RecoveryStats
+	// FaultKind labels one class of injected fault.
+	FaultKind = fault.Kind
 )
+
+// ChipCrash is the whole-chip fault kind: in a sharded run it kills
+// one shard at a scheduled cycle, and the shard restarts from its last
+// periodic checkpoint (ShardedOptions.CheckpointEvery). The merged
+// Report stays byte-identical to the crash-free run; only its
+// Recovery ledger records the restarts.
+const ChipCrash = fault.ChipCrash
 
 // Shard partitioning policies.
 const (
@@ -189,6 +206,25 @@ func DerivedOptions(a *Aligner, sample []Sequence) (Options, error) {
 func NewAccelerator(a *Aligner, opts Options) (*Accelerator, error) {
 	return accel.New(a, opts)
 }
+
+// RestoreAccelerator rebuilds a paused simulation from a Checkpoint
+// taken by Accelerator.Snapshot. opts and reads must match the
+// snapshotted run (the checkpoint carries their hashes and the restore
+// is refused on any mismatch); the restored instance then continues
+// byte-identically to the uninterrupted run. The restore itself
+// re-verifies the reconstructed state against the checkpoint's sealed
+// state inventory before returning.
+func RestoreAccelerator(a *Aligner, opts Options, reads []Sequence, ck *Checkpoint) (*Accelerator, error) {
+	return accel.Restore(a, opts, reads, ck)
+}
+
+// WriteCheckpoint atomically persists a Checkpoint to path in its
+// self-validating wire form.
+func WriteCheckpoint(path string, ck *Checkpoint) error { return ck.WriteFile(path) }
+
+// ReadCheckpoint loads and validates a Checkpoint written by
+// WriteCheckpoint.
+func ReadCheckpoint(path string) (*Checkpoint, error) { return ckpt.ReadFile(path) }
 
 // DefaultFaultSpec returns the mixed-fault template used by the chaos
 // harness: a handful of SU/EU stalls and failures, memory-timeout

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -44,7 +43,7 @@ type kernelFile struct {
 func measureKernels(filter string) kernelFile {
 	out := kernelFile{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		Host:        benchHost{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), GoVersion: runtime.Version()},
+		Host:        hostInfo(),
 	}
 	fmt.Printf("%-28s %12s %12s %8s %11s %10s\n",
 		"kernel", "before(ns)", "after(ns)", "speedup", "allocs b/a", "bytes b/a")
@@ -121,6 +120,18 @@ const (
 	// minSeedRoundSpeedup is the floor on the su.Dispatch row: batched
 	// SU seed rounds must never lose to per-read seeding dispatch.
 	minSeedRoundSpeedup = 1.0
+	// minCalendarSpeedup is the floor on the sim.Events row: the
+	// calendar queue must hold this speedup over the reference binary
+	// min-heap on the pure scheduling workload.
+	minCalendarSpeedup = 1.3
+	// minArenaSpeedup is the floor on the accel.EndToEnd row: the
+	// calendar queue + hit arena defaults must never lose to the
+	// reference heap + value-buffer path they are pinned byte-identical
+	// to. The full-system row folds in every non-queue cost (memo
+	// replay, HBM, DP cost models), so the floor is deliberately
+	// conservative; the isolated queue win is gated by
+	// minCalendarSpeedup above.
+	minArenaSpeedup = 1.0
 )
 
 // Kernel ids the absolute floors gate on.
@@ -129,7 +140,16 @@ const (
 	seedsLUTKernel  = "fmindex.Seeds/LUT"
 	seedRoundKernel = "su.Dispatch/seed-rounds"
 	endToEndKernel  = "pipeline.Align/end-to-end"
+	calendarKernel  = "sim.Events/calendar"
+	arenaKernel     = "accel.EndToEnd/arena"
 )
+
+// zeroAllocKernels are rows whose optimized side must stay strictly
+// allocation-free per op (amortized: ring/bucket growth may round to
+// zero but never to one). A single alloc/op on these rows means a hot
+// scheduling path regressed to heap traffic, regardless of what the
+// baseline recorded.
+var zeroAllocKernels = []string{calendarKernel}
 
 // checkKernelBench measures the suite fresh and compares it against a
 // committed baseline file. Absolute ns/op is machine-dependent, so the
@@ -143,9 +163,13 @@ const (
 //     reference implementation compiled from the same tree),
 //   - the end-to-end row must hold the absolute minEndToEndSpeedup
 //     floor, the batched-dispatch row the minDispatchSpeedup floor,
-//     the LUT seeding row the minSeedsLUTSpeedup floor, and the seed
-//     round row the minSeedRoundSpeedup floor, regardless of what the
-//     baseline file recorded.
+//     the LUT seeding row the minSeedsLUTSpeedup floor, the seed
+//     round row the minSeedRoundSpeedup floor, the calendar-queue row
+//     the minCalendarSpeedup floor, and the full-system arena row the
+//     minArenaSpeedup floor, regardless of what the baseline file
+//     recorded,
+//   - rows in zeroAllocKernels must measure 0 allocs/op on the
+//     optimized side, absolutely.
 //
 // A non-empty filter restricts the check (and the disappeared-kernel
 // scan) to matching kernels; floors whose row was filtered out are
@@ -167,6 +191,12 @@ func checkKernelBench(baselinePath string, tol float64, filter string) error {
 		dispatchKernel:  minDispatchSpeedup,
 		seedsLUTKernel:  minSeedsLUTSpeedup,
 		seedRoundKernel: minSeedRoundSpeedup,
+		calendarKernel:  minCalendarSpeedup,
+		arenaKernel:     minArenaSpeedup,
+	}
+	strictZero := map[string]bool{}
+	for _, k := range zeroAllocKernels {
+		strictZero[k] = true
 	}
 	fresh := measureKernels(filter)
 	var failures []string
@@ -179,6 +209,11 @@ func checkKernelBench(baselinePath string, tol float64, filter string) error {
 			failures = append(failures, fmt.Sprintf(
 				"%s: optimized kernel lost to its retained reference (%.2fx < %.2fx floor)",
 				r.Kernel, r.Speedup, floor))
+		}
+		if strictZero[r.Kernel] && r.AfterAllocsOp > 0 {
+			failures = append(failures, fmt.Sprintf(
+				"%s: optimized kernel allocates %d/op, must be allocation-free",
+				r.Kernel, r.AfterAllocsOp))
 		}
 		b, ok := baseRows[r.Kernel]
 		if !ok {

@@ -415,6 +415,10 @@ type benchHost struct {
 	// speedup (e.g. a single-core host, where parallel ≈ serial by
 	// construction and speedup rows carry no signal).
 	Note string `json:"note,omitempty"`
+	// GC is the host runtime's memory/collector snapshot at emission
+	// time, so every benchmark file records the GC context its numbers
+	// were measured under (see obs.HostGC).
+	GC obs.HostGC `json:"gc"`
 }
 
 // hostInfo captures the bench host honestly at measurement time.
@@ -423,6 +427,7 @@ func hostInfo() benchHost {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		GoVersion:  runtime.Version(),
+		GC:         obs.ReadHostGC(),
 	}
 	if h.NumCPU == 1 || h.GOMAXPROCS == 1 {
 		h.Note = "single-core host: parallel speedups are bounded at ~1.0x; " +

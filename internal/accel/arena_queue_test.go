@@ -1,0 +1,176 @@
+package accel
+
+import (
+	"fmt"
+	"testing"
+
+	"nvwa/internal/fault"
+)
+
+// refOpts turns on both reference-path toggles: the binary min-heap
+// event queue and the value-mode hits buffer — the exact PR 8 memory
+// layout, retained as the oracle for the calendar queue + arena
+// defaults.
+func refOpts(o Options) Options {
+	o.RefEventQueue = true
+	o.RefHitBuffer = true
+	return o
+}
+
+// The tentpole contract: the calendar-queue engine and the index-based
+// hit arena (both default-on) are byte-identical to the reference
+// heap + value-buffer path. Swept across all four allocator strategies
+// × {fault-free, seeded fault plan} × {per-hit, batched} event loops;
+// the S=4 sharded axis is TestCalendarArenaShardedByteIdentical.
+func TestCalendarArenaByteIdentical(t *testing.T) {
+	t.Parallel()
+	a, reads := testWorkload(t, 150, 57)
+	plan := fault.Spec{
+		Seed: 13, Horizon: 20000,
+		SUStalls: 3, SUFails: 1, EUStalls: 4, EUFails: 2,
+	}.Generate(16, 10)
+	for _, strat := range allStrategies {
+		for _, faulted := range []bool{false, true} {
+			for _, batched := range []bool{false, true} {
+				strat, faulted, batched := strat, faulted, batched
+				name := fmt.Sprintf("%s/faults=%v/batched=%v", strat, faulted, batched)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					mkOpts := func() Options {
+						o := smallOpts()
+						o.AllocStrategy = strat
+						o.Batched = batched
+						o.BatchedSU = batched
+						if faulted {
+							o.Faults = plan
+						}
+						return o
+					}
+					sys, err := New(a, mkOpts())
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := reportBytes(t, sys.Run(reads))
+					if sys.arena == nil {
+						t.Fatal("default system did not build in arena mode")
+					}
+					if sys.eng.ReferenceHeap() {
+						t.Fatal("default system did not build on the calendar queue")
+					}
+					if live := sys.arena.Live(); live != 0 {
+						t.Errorf("arena leaked %d live hit IDs after the run", live)
+					}
+					ref, err := New(a, refOpts(mkOpts()))
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := reportBytes(t, ref.Run(reads))
+					if string(got) != string(want) {
+						t.Error("calendar+arena report diverges from reference heap+value path")
+					}
+				})
+			}
+		}
+	}
+}
+
+// The calendar queue + arena compose with the scale-out engine: every
+// shard runs them, and the merged S=4 balanced report matches the
+// reference-path merge byte for byte.
+func TestCalendarArenaShardedByteIdentical(t *testing.T) {
+	t.Parallel()
+	a, reads := testWorkload(t, 200, 59)
+	run := func(ref bool) *Report {
+		o := smallOpts()
+		o.Batched = true
+		o.BatchedSU = true
+		if ref {
+			o = refOpts(o)
+		}
+		sys, err := NewSharded(a, ShardedOptions{
+			Options: o, Shards: 4, Policy: ShardBalanced,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, _, err := sys.RunDetailed(reads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	got := reportBytes(t, run(false))
+	want := reportBytes(t, run(true))
+	if string(got) != string(want) {
+		t.Error("S=4 balanced calendar+arena merge diverges from reference path")
+	}
+}
+
+// Checkpoints cross the toggles: the Ref* options are excluded from
+// the options hash because both layouts produce the identical state
+// inventory, so a snapshot taken under the calendar+arena defaults
+// must restore under the reference heap+value path (and vice versa)
+// and still finish byte-identically to the uninterrupted run.
+func TestCrossToggleCheckpointResume(t *testing.T) {
+	t.Parallel()
+	a, reads := testWorkload(t, 120, 61)
+	mkOpts := func() Options {
+		o := smallOpts()
+		o.Batched = true
+		o.BatchedSU = true
+		o.Faults = fault.Spec{
+			Seed: 7, Horizon: 20000, SUStalls: 2, EUStalls: 3, EUFails: 1,
+		}.Generate(16, 10)
+		return o
+	}
+	base, err := New(a, mkOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportBytes(t, base.Run(reads))
+
+	for _, dir := range []struct {
+		name      string
+		snapRef   bool
+		resumeRef bool
+	}{
+		{"default->ref", false, true},
+		{"ref->default", true, false},
+	} {
+		dir := dir
+		t.Run(dir.name, func(t *testing.T) {
+			t.Parallel()
+			snapOpts := mkOpts()
+			if dir.snapRef {
+				snapOpts = refOpts(snapOpts)
+			}
+			sys, err := New(a, snapOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys.Feed(reads)
+			for i := 0; i < 3; i++ {
+				if done, err := sys.Step(2500); err != nil {
+					t.Fatalf("Step: %v", err)
+				} else if done {
+					break
+				}
+			}
+			ck, err := sys.Snapshot()
+			if err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			resumeOpts := mkOpts()
+			if dir.resumeRef {
+				resumeOpts = refOpts(resumeOpts)
+			}
+			r, err := Restore(a, resumeOpts, reads, ck)
+			if err != nil {
+				t.Fatalf("cross-toggle Restore: %v", err)
+			}
+			if got := reportBytes(t, finishFrom(t, r)); string(got) != string(want) {
+				t.Error("cross-toggle resume diverges from uninterrupted run")
+			}
+		})
+	}
+}

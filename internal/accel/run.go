@@ -172,6 +172,12 @@ func (s *System) DrainChecked() (*Report, error) {
 	for _, u := range s.eus {
 		u.SetIdle(end)
 	}
+	if s.arena != nil {
+		// Recycle the final PB generation (and, after an abort, any
+		// stranded IDs) so the arena audits as fully drained — every
+		// interned hit was dispatched, dropped, or released here.
+		s.buffer.ReleaseAll()
+	}
 	return s.report(end), s.wdErr
 }
 
@@ -479,6 +485,10 @@ func (s *System) tryRound() {
 	if len(idle) == 0 {
 		return
 	}
+	if s.arena != nil {
+		s.tryRoundArena(now, idle)
+		return
+	}
 	window := s.buffer.Window(s.opts.Config.AllocBatch)
 	o := s.opts.Obs
 	var winBefore []core.Hit
@@ -521,6 +531,76 @@ func (s *System) tryRound() {
 	// carry into the completion event because roundActive blocks any
 	// further Allocate until this task has consumed it.
 	s.eng.AtTask(now+coordinator.RoundLatency(len(window)), s.getRoundTask(assigned))
+}
+
+// tryRoundArena is tryRound's allocation step over arena IDs: the
+// window, sort, and commit traffic in 4-byte IDs; only the round's
+// final materialization into dispatchable Assignments dereferences the
+// slab. Every observable side effect (obs calls, commit compaction
+// order, unit reservations, round-completion schedule) happens in the
+// identical order as the value path, so Reports and traces stay
+// byte-identical across the RefHitBuffer toggle.
+func (s *System) tryRoundArena(now int64, idle []coordinator.IdleUnit) {
+	window := s.buffer.WindowIDs(s.opts.Config.AllocBatch)
+	o := s.opts.Obs
+	var winBefore []core.Hit
+	if o != nil {
+		winBefore = o.Inv.SnapshotWindow(s.derefHits(window))
+	}
+	assigned, un := s.alloc.AllocateIDs(s.arena, window, idle)
+	// Materialize the dispatch-facing assignments. The IDs stay live —
+	// CommitIDs moves them into the PB's consumed prefix, which the
+	// state inventory still digests; they recycle at the next buffer
+	// switch.
+	asg := s.asgScratch[:0]
+	ids := s.allocIDs[:0]
+	for _, a := range assigned {
+		asg = append(asg, coordinator.Assignment{Hit: s.arena.At(a.ID), Unit: a.Unit})
+		ids = append(ids, a.ID)
+	}
+	s.asgScratch, s.allocIDs = asg, ids
+	if o != nil {
+		// The window aliases the PB: AllocateIDs must not have mutated
+		// it (the CommitIDs compaction below reads the same backing
+		// array).
+		o.Inv.CheckWindowUnchanged(now, winBefore, s.derefHits(window))
+		o.AllocRound(now, len(window), len(asg), len(un), len(idle),
+			coordinator.RoundLatency(len(window)))
+		s.observeRound(now, idle, asg)
+	}
+	if len(asg) == 0 {
+		return
+	}
+	s.buffer.CommitIDs(ids, un)
+	if s.flt != nil {
+		s.flt.inFlight += len(ids)
+	}
+	if o != nil {
+		o.Inv.CheckConservation(now, int64(s.buffer.SBLen()+s.buffer.PBRemaining()), "round")
+		if s.flt != nil {
+			o.Inv.CheckFaultLedger(now, int64(s.flt.retryPending), int64(s.flt.inFlight))
+		}
+	}
+	s.roundActive = true
+	// Reserve the assigned units for the duration of the round.
+	for _, a := range asg {
+		s.euSetBusy(s.eus[a.Unit.ID], now)
+	}
+	// asg aliases the system's round scratch; safe to carry into the
+	// completion event because roundActive blocks the next round until
+	// this task has consumed it.
+	s.eng.AtTask(now+coordinator.RoundLatency(len(window)), s.getRoundTask(asg))
+}
+
+// derefHits dereferences an ID window into the system's deref scratch
+// (valid until the next derefHits call) for the obs window checks.
+func (s *System) derefHits(ids []core.HitID) []core.Hit {
+	out := s.winDeref[:0]
+	for _, id := range ids {
+		out = append(out, s.arena.At(id))
+	}
+	s.winDeref = out
+	return out
 }
 
 // roundTask is the pooled event payload for an allocation round's
@@ -613,7 +693,7 @@ func (s *System) drain() {
 			// No event moved anything: the window at the PB offset is
 			// unallocatable under the configured strategy even with the
 			// whole pool idle. Drop it with a reason and keep draining.
-			n := len(s.buffer.Window(s.opts.Config.AllocBatch))
+			n := s.buffer.WindowLen(s.opts.Config.AllocBatch)
 			if s.buffer.Drop(n, "unallocatable") == 0 {
 				// Nothing droppable either (e.g. a buffer switch is
 				// impossible because input never ended): leave the rest

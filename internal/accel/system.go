@@ -88,6 +88,21 @@ type Options struct {
 	// differential suite pins the equivalence across allocator
 	// strategies, fault plans, seed strategies, and sharding.
 	BatchedSU bool
+	// RefEventQueue runs the engine on the reference binary min-heap
+	// event queue instead of the default calendar queue. Both pop in
+	// the identical (at, seq) order, so Reports and checkpoint
+	// inventories are byte-identical either way — the toggle exists so
+	// the differential suite and the kernel benchmarks can pin the
+	// calendar queue against its retained oracle on live workloads.
+	// Deliberately excluded from the checkpoint options hash: a
+	// checkpoint taken under one queue restores under the other.
+	RefEventQueue bool
+	// RefHitBuffer stores Coordinator hits as inline 64-byte values
+	// (the reference layout) instead of the default index-based arena
+	// (4-byte IDs over a slab, scheduling keys in a dense side table).
+	// Observable behavior is bit-identical; like RefEventQueue it is
+	// excluded from the options hash, so checkpoints cross-restore.
+	RefHitBuffer bool
 	// Memo optionally supplies a precomputed functional-replay cache
 	// (see BuildMemo). It is consumed only when it was built over the
 	// same seeding front end this system runs, so attaching a default
@@ -162,6 +177,7 @@ type System struct {
 	sus     []*su.Unit
 	eus     []*eu.Unit
 	buffer  *coordinator.HitsBuffer
+	arena   *core.HitArena // non-nil when the buffer runs in arena mode
 	alloc   *coordinator.Allocator
 	trigger *extsched.Trigger
 	prefet  *seedsched.ReadSPM
@@ -209,7 +225,14 @@ type System struct {
 	// steady-state scheduling allocates no closures (see run.go).
 	idleBuf   []coordinator.IdleUnit
 	allocHits []core.Hit
-	suFree    []*suTask
+	// Arena-round scratch: the ID list handed to CommitIDs and the
+	// materialized value assignments the dispatch path consumes —
+	// both safe to reuse per round because roundActive serializes
+	// rounds (see tryRound).
+	allocIDs   []core.HitID
+	asgScratch []coordinator.Assignment
+	winDeref   []core.Hit
+	suFree     []*suTask
 	euFree    []*euTask
 	roundFree []*roundTask
 	batchFree []*batchTask
@@ -262,9 +285,20 @@ func New(aligner *pipeline.Aligner, opts Options) (*System, error) {
 		opts:    opts,
 		aligner: aligner,
 		hbm:     mem.NewHBM(mem.HBM1()),
-		buffer:  coordinator.NewHitsBuffer(opts.Config.HitsBufferDepth, opts.Config.SwitchThreshold),
 		alloc:   newStatsAllocator(opts),
 		trigger: extsched.NewTrigger(opts.Config.TotalEUs(), opts.Config.IdleEUTrigger),
+	}
+	if opts.RefHitBuffer {
+		s.buffer = coordinator.NewHitsBuffer(opts.Config.HitsBufferDepth, opts.Config.SwitchThreshold)
+	} else {
+		s.arena = &core.HitArena{}
+		// Peak liveness is both buffer generations (the consumed PB
+		// prefix stays live until the next switch) plus retry slack.
+		s.arena.Reserve(2*opts.Config.HitsBufferDepth + 64)
+		s.buffer = coordinator.NewHitsBufferArena(opts.Config.HitsBufferDepth, opts.Config.SwitchThreshold, s.arena)
+	}
+	if opts.RefEventQueue {
+		s.eng.SetReferenceHeap(true)
 	}
 	if opts.Faults != nil {
 		s.flt = newFaultState(opts.Faults, opts.Config)

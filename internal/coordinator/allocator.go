@@ -1,6 +1,7 @@
 package coordinator
 
 import (
+	"slices"
 	"sort"
 
 	"nvwa/internal/core"
@@ -21,6 +22,14 @@ type IdleUnit struct {
 // Assignment pairs a hit with the unit that will extend it.
 type Assignment struct {
 	Hit  core.Hit
+	Unit IdleUnit
+}
+
+// IDAssignment pairs an arena hit ID with the unit that will extend
+// it — the AllocateIDs result record. The hit payload stays in the
+// arena until the dispatch path dereferences it.
+type IDAssignment struct {
+	ID   core.HitID
 	Unit IdleUnit
 }
 
@@ -87,6 +96,10 @@ type Allocator struct {
 	heads       []int
 	assignedBuf []Assignment
 	unallocBuf  []core.Hit
+	// ID-round scratch (AllocateIDs).
+	keyBuf   []int64
+	idAsgBuf []IDAssignment
+	idUnBuf  []core.HitID
 }
 
 // hitsBySchedLen sorts hits ascending by scheduling length, stably, so
@@ -186,11 +199,74 @@ func (a *Allocator) Allocate(window []core.Hit, idle []IdleUnit) (assigned []Ass
 		sort.Stable(&a.hitsBuf)
 	}
 
-	// Index idle units by class. Sorting the offered pool by unique ID
-	// once keeps every class bucket ID-ordered (determinism) without
-	// the per-class sorts of the original.
+	a.indexIdle(idle)
+
+	asg := a.assignedBuf[:0]
+	un := a.unallocBuf[:0]
+	for _, h := range hits {
+		unit, ok := a.selectUnit(a.classifier.OptimalClass(h.SchedLen()))
+		if !ok {
+			un = append(un, h)
+			continue
+		}
+		asg = append(asg, Assignment{Hit: h, Unit: unit})
+		a.recordStats(h.SchedLen(), unit)
+	}
+	a.assignedBuf, a.unallocBuf = asg, un
+	return asg, un
+}
+
+// AllocateIDs is Allocate over arena hit IDs: the same steps 2-6 with
+// the same outcome for the same hit values, bit for bit (pinned by
+// TestAllocateIDsMatchesAllocate). The round never touches Hit memory:
+// it sorts packed (schedLen, windowPos) int64 keys — the scheduling
+// length comes from the arena's dense side table — so the comparator
+// moves 8-byte keys instead of 64-byte records, and the position tie
+// break reproduces sort.Stable's equal-key order exactly.
+//
+// The returned slices alias the allocator's ID-round scratch and are
+// valid only until the next AllocateIDs call.
+func (a *Allocator) AllocateIDs(ar *core.HitArena, window []core.HitID, idle []IdleUnit) (assigned []IDAssignment, unallocated []core.HitID) {
+	if len(window) == 0 {
+		return nil, nil
+	}
+	keys := a.keyBuf[:0]
+	for pos, id := range window {
+		keys = append(keys, int64(ar.SchedLen(id))<<32|int64(pos))
+	}
+	if a.strategy != FIFO {
+		slices.Sort(keys)
+	}
+	a.indexIdle(idle)
+
+	asg := a.idAsgBuf[:0]
+	un := a.idUnBuf[:0]
+	for _, k := range keys {
+		schedLen := int(k >> 32)
+		id := window[k&0xffffffff]
+		unit, ok := a.selectUnit(a.classifier.OptimalClass(schedLen))
+		if !ok {
+			un = append(un, id)
+			continue
+		}
+		asg = append(asg, IDAssignment{ID: id, Unit: unit})
+		a.recordStats(schedLen, unit)
+	}
+	a.keyBuf = keys
+	a.idAsgBuf, a.idUnBuf = asg, un
+	return asg, un
+}
+
+// indexIdle buckets the offered idle units by class. Sorting the pool
+// by unique ID once keeps every class bucket ID-ordered (determinism)
+// without per-class sorts; the System's idle scans already yield
+// ID-ascending pools, so the common case is a verify pass with no
+// swaps.
+func (a *Allocator) indexIdle(idle []IdleUnit) {
 	a.idleBuf = append(a.idleBuf[:0], idle...)
-	sort.Sort(&a.idleBuf)
+	if !sort.IsSorted(&a.idleBuf) {
+		sort.Sort(&a.idleBuf)
+	}
 	for c := range a.byClass {
 		a.byClass[c] = a.byClass[c][:0]
 		a.heads[c] = 0
@@ -200,64 +276,59 @@ func (a *Allocator) Allocate(window []core.Hit, idle []IdleUnit) (assigned []Ass
 			a.byClass[u.Class] = append(a.byClass[u.Class], u)
 		}
 	}
+}
 
-	asg := a.assignedBuf[:0]
-	un := a.unallocBuf[:0]
-	for _, h := range hits {
-		opt := a.classifier.OptimalClass(h.SchedLen())
-		var unit IdleUnit
-		ok := false
-		switch a.strategy {
-		case FIFO:
-			// Any idle unit, ID order.
-			bestClass, bestID := -1, 0
-			for c := range a.byClass {
-				if a.heads[c] < len(a.byClass[c]) {
-					if id := a.byClass[c][a.heads[c]].ID; bestClass == -1 || id < bestID {
-						bestClass, bestID = c, id
-					}
+// selectUnit applies the strategy's steps 4-6 for one hit whose
+// optimal class is opt, consuming from the round's class buckets.
+func (a *Allocator) selectUnit(opt int) (IdleUnit, bool) {
+	switch a.strategy {
+	case FIFO:
+		// Any idle unit, ID order.
+		bestClass, bestID := -1, 0
+		for c := range a.byClass {
+			if a.heads[c] < len(a.byClass[c]) {
+				if id := a.byClass[c][a.heads[c]].ID; bestClass == -1 || id < bestID {
+					bestClass, bestID = c, id
 				}
 			}
-			if bestClass >= 0 {
-				unit, ok = a.take(bestClass)
-			}
-		case Exclusive:
-			unit, ok = a.take(opt)
-		case Shared:
-			unit, ok = a.takeNearest(opt, 0, len(a.classes))
-		case Grouped:
-			lo, hi := 0, a.splitClass
-			if a.group(opt) == 1 {
-				lo, hi = a.splitClass, len(a.classes)
-			}
-			unit, ok = a.takeNearest(opt, lo, hi)
-			if !ok {
-				// The home group is exhausted: supplement from the
-				// adjacent group (paper Sec. IV-D — "adjacent resources
-				// can be supplemented to ensure scheduling efficiency
-				// when some specific resources are limited"). The sort
-				// in step 3 already gave same-group hits first pick, so
-				// this disciplined spill differs from the "too
-				// aggressive" fully-shared method (2).
-				unit, ok = a.takeNearest(opt, 0, len(a.classes))
-			}
 		}
-		if !ok {
-			un = append(un, h)
-			continue
+		if bestClass >= 0 {
+			return a.take(bestClass)
 		}
-		asg = append(asg, Assignment{Hit: h, Unit: unit})
-		sc := a.statsClass(h.SchedLen())
-		a.perClassTotal[sc]++
-		if unit.PEs == a.statsSizes[sc] {
-			a.optimal++
-			a.perClassOpt[sc]++
-		} else {
-			a.nearOptimal++
+	case Exclusive:
+		return a.take(opt)
+	case Shared:
+		return a.takeNearest(opt, 0, len(a.classes))
+	case Grouped:
+		lo, hi := 0, a.splitClass
+		if a.group(opt) == 1 {
+			lo, hi = a.splitClass, len(a.classes)
 		}
+		if u, ok := a.takeNearest(opt, lo, hi); ok {
+			return u, true
+		}
+		// The home group is exhausted: supplement from the
+		// adjacent group (paper Sec. IV-D — "adjacent resources
+		// can be supplemented to ensure scheduling efficiency
+		// when some specific resources are limited"). The sort
+		// in step 3 already gave same-group hits first pick, so
+		// this disciplined spill differs from the "too
+		// aggressive" fully-shared method (2).
+		return a.takeNearest(opt, 0, len(a.classes))
 	}
-	a.assignedBuf, a.unallocBuf = asg, un
-	return asg, un
+	return IdleUnit{}, false
+}
+
+// recordStats tallies one assignment against the canonical ladder.
+func (a *Allocator) recordStats(schedLen int, unit IdleUnit) {
+	sc := a.statsClass(schedLen)
+	a.perClassTotal[sc]++
+	if unit.PEs == a.statsSizes[sc] {
+		a.optimal++
+		a.perClassOpt[sc]++
+	} else {
+		a.nearOptimal++
+	}
 }
 
 // take pops the lowest-ID idle unit of class c, if any. Buckets are

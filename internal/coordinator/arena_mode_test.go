@@ -1,0 +1,177 @@
+package coordinator
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"nvwa/internal/ckpt"
+	"nvwa/internal/core"
+)
+
+// TestAllocateIDsMatchesAllocate pins the ID round against the value
+// round: for the same hit values, idle pool, and strategy, both must
+// produce the same assignments (hit value + unit), the same
+// unallocated order, and the same quality stats. This is the proof
+// that the packed-key sort reproduces sort.Stable's order exactly.
+func TestAllocateIDsMatchesAllocate(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for _, strat := range []Strategy{Grouped, Exclusive, Shared, FIFO} {
+		ref := NewAllocator(testClasses, strat)
+		opt := NewAllocator(testClasses, strat)
+		var ar core.HitArena
+		for round := 0; round < 300; round++ {
+			n := 1 + rng.Intn(24)
+			window := make([]core.Hit, n)
+			ids := make([]core.HitID, n)
+			for i := range window {
+				// Duplicate lengths on purpose: equal keys exercise the
+				// stable tie break.
+				window[i] = hit(round*100+i, 1+rng.Intn(40))
+				ids[i] = ar.Alloc(window[i])
+			}
+			idle := units(testClasses)[:rng.Intn(9)]
+			wantAsg, wantUn := ref.Allocate(window, idle)
+			gotAsg, gotUn := opt.AllocateIDs(&ar, ids, idle)
+
+			if len(gotAsg) != len(wantAsg) || len(gotUn) != len(wantUn) {
+				t.Fatalf("%v round %d: ID round assigned %d/unalloc %d, value round %d/%d",
+					strat, round, len(gotAsg), len(gotUn), len(wantAsg), len(wantUn))
+			}
+			for i := range wantAsg {
+				if got := ar.At(gotAsg[i].ID); got != wantAsg[i].Hit || gotAsg[i].Unit != wantAsg[i].Unit {
+					t.Fatalf("%v round %d: assignment %d diverges: ID round (%+v on %+v), value round (%+v on %+v)",
+						strat, round, i, got, gotAsg[i].Unit, wantAsg[i].Hit, wantAsg[i].Unit)
+				}
+			}
+			for i := range wantUn {
+				if got := ar.At(gotUn[i]); got != wantUn[i] {
+					t.Fatalf("%v round %d: unallocated %d diverges: ID round %+v, value round %+v",
+						strat, round, i, got, wantUn[i])
+				}
+			}
+			for _, id := range ids {
+				ar.Free(id)
+			}
+		}
+		rs, os := ref.Stats(), opt.Stats()
+		if rs.Optimal != os.Optimal || rs.NearOptimal != os.NearOptimal {
+			t.Fatalf("%v: stats diverge: value %+v, ID %+v", strat, rs, os)
+		}
+	}
+}
+
+// TestAllocateIDsWarmZeroAlloc extends the round-scratch contract to
+// the ID round: warm AllocateIDs must not touch the heap.
+func TestAllocateIDsWarmZeroAlloc(t *testing.T) {
+	for _, strat := range []Strategy{Grouped, Exclusive, Shared, FIFO} {
+		a := NewAllocator(testClasses, strat)
+		var ar core.HitArena
+		rng := rand.New(rand.NewSource(41))
+		ids := make([]core.HitID, 24)
+		for i := range ids {
+			ids[i] = ar.Alloc(hit(i, 1+rng.Intn(200)))
+		}
+		idle := units(testClasses)
+		a.AllocateIDs(&ar, ids, idle) // warm
+		allocs := testing.AllocsPerRun(100, func() {
+			a.AllocateIDs(&ar, ids, idle)
+		})
+		if allocs != 0 {
+			t.Errorf("%v: warm AllocateIDs performs %v allocs per round, want 0", strat, allocs)
+		}
+	}
+}
+
+// TestHitsBufferArenaMatchesValue drives a value-mode and an
+// arena-mode buffer through an identical randomized push / switch /
+// allocate / commit / drop schedule and checks every observable —
+// occupancy, switch count, window contents, and the checkpoint state
+// inventory — stays byte-identical.
+func TestHitsBufferArenaMatchesValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ref := NewHitsBuffer(32, 0.75)
+	var arena core.HitArena
+	opt := NewHitsBufferArena(32, 0.75, &arena)
+	alloc := NewAllocator(testClasses, Grouped)
+	allocID := NewAllocator(testClasses, Grouped)
+
+	checkState := func(step int) {
+		t.Helper()
+		if ref.SBLen() != opt.SBLen() || ref.PBRemaining() != opt.PBRemaining() ||
+			ref.Switches() != opt.Switches() || ref.Offset() != opt.Offset() {
+			t.Fatalf("step %d: occupancy diverges: value (sb=%d pb=%d sw=%d off=%d), arena (sb=%d pb=%d sw=%d off=%d)",
+				step, ref.SBLen(), ref.PBRemaining(), ref.Switches(), ref.Offset(),
+				opt.SBLen(), opt.PBRemaining(), opt.Switches(), opt.Offset())
+		}
+		var re, oe ckpt.Encoder
+		ref.EncodeState(&re)
+		opt.EncodeState(&oe)
+		if !bytes.Equal(re.Bytes(), oe.Bytes()) {
+			t.Fatalf("step %d: EncodeState diverges between value and arena buffers", step)
+		}
+	}
+
+	for step := 0; step < 4000; step++ {
+		switch rng.Intn(5) {
+		case 0, 1: // push
+			h := hit(step, 1+rng.Intn(60))
+			if got, want := opt.Push(h), ref.Push(h); got != want {
+				t.Fatalf("step %d: arena Push=%v, value Push=%v", step, got, want)
+			}
+		case 2: // switch (sometimes forced)
+			force := rng.Intn(3) == 0
+			if got, want := opt.TrySwitch(force), ref.TrySwitch(force); got != want {
+				t.Fatalf("step %d: arena TrySwitch=%v, value TrySwitch=%v", step, got, want)
+			}
+		case 3: // allocation round
+			idle := units(testClasses)[:rng.Intn(9)]
+			win := ref.Window(16)
+			winIDs := opt.WindowIDs(16)
+			if len(win) != len(winIDs) {
+				t.Fatalf("step %d: window sizes diverge: %d vs %d", step, len(win), len(winIDs))
+			}
+			for i := range win {
+				if arena.At(winIDs[i]) != win[i] {
+					t.Fatalf("step %d: window entry %d diverges", step, i)
+				}
+			}
+			if len(win) == 0 {
+				continue
+			}
+			asg, un := alloc.Allocate(win, idle)
+			asgID, unID := allocID.AllocateIDs(&arena, winIDs, idle)
+			ref.Commit(assignmentHits(asg), un)
+			ids := make([]core.HitID, len(asgID))
+			for i, a := range asgID {
+				ids[i] = a.ID
+			}
+			opt.CommitIDs(ids, unID)
+		case 4: // drop
+			n := rng.Intn(3)
+			if got, want := opt.Drop(n, "test"), ref.Drop(n, "test"); got != want {
+				t.Fatalf("step %d: arena Drop=%d, value Drop=%d", step, got, want)
+			}
+		}
+		checkState(step)
+	}
+
+	// Drain: force-switch leftovers through, then release and audit.
+	for opt.TrySwitch(true) {
+		opt.Drop(opt.PBRemaining(), "drain")
+		ref.TrySwitch(true)
+		ref.Drop(ref.PBRemaining(), "drain")
+	}
+	opt.ReleaseAll()
+	if err := arena.CheckDrained(); err != nil {
+		t.Fatalf("after drain: %v", err)
+	}
+}
+
+func assignmentHits(asg []Assignment) []core.Hit {
+	out := make([]core.Hit, len(asg))
+	for i, a := range asg {
+		out[i] = a.Hit
+	}
+	return out
+}

@@ -26,6 +26,17 @@ type HitsBuffer struct {
 	offset    int
 	switches  int
 
+	// Arena mode (arena != nil): hits are interned on Push and the
+	// buffer holds 4-byte IDs instead of 64-byte records — sbIDs/pbIDs
+	// replace sb/pb, and allocation rounds run over IDs
+	// (WindowIDs/CommitIDs). A hit's ID stays valid while it sits
+	// anywhere in pbIDs — including the consumed prefix, which
+	// EncodeState still digests — so IDs are recycled only when a PB
+	// generation is discarded at the next switch (or ReleaseAll).
+	arena *core.HitArena
+	sbIDs []core.HitID
+	pbIDs []core.HitID
+
 	obs   *obs.Observer
 	clock func() int64
 }
@@ -41,6 +52,23 @@ func NewHitsBuffer(depth int, threshold float64) *HitsBuffer {
 	}
 	return &HitsBuffer{depth: depth, threshold: threshold}
 }
+
+// NewHitsBufferArena builds a buffer in arena mode: pushes intern the
+// hit into ar and the buffer traffics in IDs. The observable behavior
+// (occupancy, switch points, commit compaction, state digests) is
+// bit-identical to value mode for the same hit stream.
+func NewHitsBufferArena(depth int, threshold float64, ar *core.HitArena) *HitsBuffer {
+	b := NewHitsBuffer(depth, threshold)
+	b.arena = ar
+	return b
+}
+
+// ArenaMode reports whether the buffer stores arena IDs.
+func (b *HitsBuffer) ArenaMode() bool { return b.arena != nil }
+
+// Arena returns the arena backing an arena-mode buffer (nil in value
+// mode).
+func (b *HitsBuffer) Arena() *core.HitArena { return b.arena }
 
 // Depth returns the per-side capacity in hits.
 func (b *HitsBuffer) Depth() int { return b.depth }
@@ -64,25 +92,42 @@ func (b *HitsBuffer) now() int64 {
 // in which case the producing SU must stall (the paper's "blocking"
 // state).
 func (b *HitsBuffer) Push(h core.Hit) bool {
-	if len(b.sb) >= b.depth {
+	if b.SBLen() >= b.depth {
 		if b.obs != nil {
 			b.obs.BufferPushBlocked(b.now())
 		}
 		return false
 	}
-	b.sb = append(b.sb, h)
+	if b.arena != nil {
+		b.sbIDs = append(b.sbIDs, b.arena.Alloc(h))
+	} else {
+		b.sb = append(b.sb, h)
+	}
 	if b.obs != nil {
 		b.obs.Inv.RecordPush(1)
-		b.obs.BufferPush(b.now(), len(b.sb), b.depth)
+		b.obs.BufferPush(b.now(), b.SBLen(), b.depth)
 	}
 	return true
 }
 
 // SBLen returns the Store Buffer occupancy.
-func (b *HitsBuffer) SBLen() int { return len(b.sb) }
+func (b *HitsBuffer) SBLen() int {
+	if b.arena != nil {
+		return len(b.sbIDs)
+	}
+	return len(b.sb)
+}
+
+// pbLen returns the total PB length including consumed hits.
+func (b *HitsBuffer) pbLen() int {
+	if b.arena != nil {
+		return len(b.pbIDs)
+	}
+	return len(b.pb)
+}
 
 // PBRemaining returns the number of unallocated hits in the PB.
-func (b *HitsBuffer) PBRemaining() int { return len(b.pb) - b.offset }
+func (b *HitsBuffer) PBRemaining() int { return b.pbLen() - b.offset }
 
 // Switches returns how many buffer switches have occurred.
 func (b *HitsBuffer) Switches() int { return b.switches }
@@ -91,7 +136,7 @@ func (b *HitsBuffer) Switches() int { return b.switches }
 // CanSwitch and TrySwitch: the SB fill has reached threshold*depth.
 // Keeping it in one place means the two callers cannot drift.
 func (b *HitsBuffer) thresholdMet() bool {
-	return float64(len(b.sb)) >= b.threshold*float64(b.depth)
+	return float64(b.SBLen()) >= b.threshold*float64(b.depth)
 }
 
 // CanSwitch reports whether the switch condition holds: the SB has
@@ -105,20 +150,32 @@ func (b *HitsBuffer) CanSwitch() bool {
 // end of input, so a final sub-threshold SB is never stranded). It
 // reports whether a switch happened.
 func (b *HitsBuffer) TrySwitch(force bool) bool {
-	if b.PBRemaining() != 0 || len(b.sb) == 0 {
+	if b.PBRemaining() != 0 || b.SBLen() == 0 {
 		return false
 	}
 	forced := !b.thresholdMet()
 	if !force && forced {
 		return false
 	}
-	b.pb = b.pb[:0]
-	b.pb = append(b.pb, b.sb...)
-	b.sb = b.sb[:0]
+	if b.arena != nil {
+		// The outgoing PB generation is fully consumed (dispatched or
+		// dropped); discarding it is the one point its IDs stop being
+		// reachable, so recycle them here.
+		for _, id := range b.pbIDs {
+			b.arena.Free(id)
+		}
+		b.pbIDs = b.pbIDs[:0]
+		b.pbIDs = append(b.pbIDs, b.sbIDs...)
+		b.sbIDs = b.sbIDs[:0]
+	} else {
+		b.pb = b.pb[:0]
+		b.pb = append(b.pb, b.sb...)
+		b.sb = b.sb[:0]
+	}
 	b.offset = 0
 	b.switches++
 	if b.obs != nil {
-		b.obs.BufferSwitch(b.now(), b.switches, len(b.pb), forced)
+		b.obs.BufferSwitch(b.now(), b.switches, b.pbLen(), forced)
 	}
 	return true
 }
@@ -129,7 +186,7 @@ func (b *HitsBuffer) Offset() int { return b.offset }
 
 // PBLen returns the total Processing Buffer length including already
 // consumed hits.
-func (b *HitsBuffer) PBLen() int { return len(b.pb) }
+func (b *HitsBuffer) PBLen() int { return b.pbLen() }
 
 // Window returns the current allocation window: up to batch
 // unallocated hits starting at the PB offset (step 1 of Fig. 10).
@@ -141,11 +198,37 @@ func (b *HitsBuffer) PBLen() int { return len(b.pb) }
 // this reason, and the obs.Invariants checker verifies after every
 // round that the window bytes are unchanged.
 func (b *HitsBuffer) Window(batch int) []core.Hit {
+	if b.arena != nil {
+		panic("coordinator: Window on an arena-mode buffer; use WindowIDs")
+	}
 	end := b.offset + batch
 	if end > len(b.pb) {
 		end = len(b.pb)
 	}
 	return b.pb[b.offset:end]
+}
+
+// WindowIDs is Window for arena mode: up to batch unallocated hit IDs
+// starting at the PB offset. The same read-only aliasing contract as
+// Window applies.
+func (b *HitsBuffer) WindowIDs(batch int) []core.HitID {
+	if b.arena == nil {
+		panic("coordinator: WindowIDs on a value-mode buffer; use Window")
+	}
+	end := b.offset + batch
+	if end > len(b.pbIDs) {
+		end = len(b.pbIDs)
+	}
+	return b.pbIDs[b.offset:end]
+}
+
+// WindowLen returns the size of the current allocation window in
+// either mode.
+func (b *HitsBuffer) WindowLen(batch int) int {
+	if n := b.PBRemaining(); batch > n {
+		return n
+	}
+	return batch
 }
 
 // Commit applies an allocation round's outcome to the PB: within the
@@ -160,10 +243,29 @@ func (b *HitsBuffer) Commit(allocated, unallocated []core.Hit) {
 	copy(b.pb[b.offset:], allocated)
 	copy(b.pb[b.offset+len(allocated):], unallocated)
 	b.offset += len(allocated)
+	b.commitObs(len(allocated))
+}
+
+// CommitIDs is Commit for arena mode: the same window compaction over
+// IDs. Allocated IDs land in the consumed prefix — still digested by
+// EncodeState, still live — and are recycled when this PB generation
+// is discarded.
+func (b *HitsBuffer) CommitIDs(allocated, unallocated []core.HitID) {
+	n := len(allocated) + len(unallocated)
+	if n > len(b.pbIDs)-b.offset {
+		panic(fmt.Sprintf("coordinator: commit of %d hits exceeds window of %d", n, len(b.pbIDs)-b.offset))
+	}
+	copy(b.pbIDs[b.offset:], allocated)
+	copy(b.pbIDs[b.offset+len(allocated):], unallocated)
+	b.offset += len(allocated)
+	b.commitObs(len(allocated))
+}
+
+func (b *HitsBuffer) commitObs(allocated int) {
 	if b.obs != nil {
-		b.obs.Inv.RecordAssigned(len(allocated))
-		b.obs.BufferOccupancy(b.now(), len(b.sb), b.PBRemaining())
-		b.obs.Inv.CheckBuffer(b.now(), len(b.sb), len(b.pb), b.offset, b.depth)
+		b.obs.Inv.RecordAssigned(allocated)
+		b.obs.BufferOccupancy(b.now(), b.SBLen(), b.PBRemaining())
+		b.obs.Inv.CheckBuffer(b.now(), b.SBLen(), b.pbLen(), b.offset, b.depth)
 	}
 }
 
@@ -184,29 +286,64 @@ func (b *HitsBuffer) Drop(n int, reason string) int {
 	b.offset += n
 	if b.obs != nil {
 		b.obs.HitsDropped(b.now(), n, reason)
-		b.obs.BufferOccupancy(b.now(), len(b.sb), b.PBRemaining())
+		b.obs.BufferOccupancy(b.now(), b.SBLen(), b.PBRemaining())
 	}
 	return n
+}
+
+// ReleaseAll recycles every ID the buffer still references (both
+// sides, consumed prefix included) back to the arena. The drain path
+// calls it once the pipeline is empty so an end-of-run arena audits as
+// fully drained; the buffer is unusable for further pushes against
+// those IDs afterwards. Value-mode buffers ignore it.
+func (b *HitsBuffer) ReleaseAll() {
+	if b.arena == nil {
+		return
+	}
+	for _, id := range b.sbIDs {
+		b.arena.Free(id)
+	}
+	for _, id := range b.pbIDs {
+		b.arena.Free(id)
+	}
+	b.sbIDs = b.sbIDs[:0]
+	b.pbIDs = b.pbIDs[:0]
+	b.offset = 0
 }
 
 // EncodeState writes the buffer's canonical state inventory: both
 // queue fills, the PB consumption offset, the switch counter, and a
 // digest over every queued hit record. Depth and threshold are
-// configuration, covered by the options hash instead.
+// configuration, covered by the options hash instead. Arena
+// mode dereferences IDs and folds the hit VALUES in buffer order, so
+// the inventory is byte-identical to value mode for the same hit
+// stream — checkpoints taken under one mode restore under the other.
 func (b *HitsBuffer) EncodeState(enc *ckpt.Encoder) {
 	enc.Section("coordinator.HitsBuffer")
-	enc.PutInt(len(b.sb))
-	enc.PutInt(len(b.pb))
+	enc.PutInt(b.SBLen())
+	enc.PutInt(b.pbLen())
 	enc.PutInt(b.offset)
 	enc.PutInt(b.switches)
 	var d ckpt.Digest
-	for _, h := range b.sb {
-		h.Fold(&d)
+	if b.arena != nil {
+		for _, id := range b.sbIDs {
+			b.arena.At(id).Fold(&d)
+		}
+	} else {
+		for _, h := range b.sb {
+			h.Fold(&d)
+		}
 	}
 	enc.PutU64(d.Sum())
 	d = ckpt.Digest{}
-	for _, h := range b.pb {
-		h.Fold(&d)
+	if b.arena != nil {
+		for _, id := range b.pbIDs {
+			b.arena.At(id).Fold(&d)
+		}
+	} else {
+		for _, h := range b.pb {
+			h.Fold(&d)
+		}
 	}
 	enc.PutU64(d.Sum())
 }

@@ -55,6 +55,7 @@ type Unit struct {
 	class   int
 	arr     systolic.Array
 	aligner Extender
+	extBand int // cached Options().ExtBand: read per task, copied once
 	cost    CostModel
 	state   core.UnitState
 	obs     *obs.Observer
@@ -80,6 +81,7 @@ func New(id, class, pes int, aligner Extender, cost CostModel) *Unit {
 		class:   class,
 		arr:     systolic.Array{PEs: pes, Scoring: aligner.Options().Scoring},
 		aligner: aligner,
+		extBand: aligner.Options().ExtBand,
 		cost:    cost,
 	}
 }
@@ -164,7 +166,7 @@ func (u *Unit) TracebackSpillCycles() int64 { return u.tbSpillCyc }
 // Hybrid Units Strategy sizes its small arrays for.
 func (u *Unit) Execute(now int64, oriented seq.Seq, h core.Hit) (core.Extension, int64) {
 	ext, cost := u.aligner.ExtendHitCost(oriented, h)
-	r, _ := cost.TaskDims(h, u.aligner.Options().ExtBand)
+	r, _ := cost.TaskDims(h, u.extBand)
 	// The hit span (the paper's hit_len) sets the array residency —
 	// how many P-wide query blocks stream the reference — while the
 	// flank probes extend the streamed reference (r includes the rows

@@ -27,6 +27,11 @@
 //     with reserved sequencing and the O(1) idle counter.
 //   - su.Dispatch: per-read seed-start events vs pooled SU round
 //     vectors chained through reserved completion sequencing.
+//   - sim.Events: the binary min-heap event queue vs the cycle-bucketed
+//     calendar queue (identical (at, seq) pop order).
+//   - accel.EndToEnd: the reference heap + value-mode hits buffer vs
+//     the calendar queue + index-based hit arena on the full memoized
+//     batched system.
 package kernbench
 
 import (
@@ -333,8 +338,107 @@ func Cases() []Case {
 			},
 		},
 	}
-	cases = append(cases, mergeCase(), dispatchCase(), seedRoundCase())
+	cases = append(cases, mergeCase(), dispatchCase(), seedRoundCase(),
+		calendarCase(), arenaEndToEndCase())
 	return cases
+}
+
+// calendarCase pairs the retained binary min-heap event queue against
+// the cycle-bucketed calendar queue on a pure scheduling workload:
+// mixed short deltas (the dispatch steady state) plus a sprinkle of
+// far-future pushes that exercise the overflow heap and migration.
+// Both sides run the same pooled task so the measurement isolates the
+// queue; the After side must stay allocation-free in steady state.
+func calendarCase() Case {
+	const rounds = 1024
+	run := func(e *sim.Engine, t sim.Task) {
+		for j := 0; j < rounds; j++ {
+			e.AtTask(e.Now()+int64(j%11), t)
+			if j%64 == 0 {
+				e.AtTask(e.Now()+int64(2048+j), t) // overflow path
+			}
+		}
+		e.Run()
+	}
+	return Case{
+		Kernel: "sim.Events/calendar",
+		Note:   "binary min-heap pop/push (reference) vs cycle-bucketed calendar queue with overflow heap",
+		Before: func(b *testing.B) {
+			var e sim.Engine
+			e.SetReferenceHeap(true)
+			t := &addTask{}
+			run(&e, t) // warm the heap's backing array
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run(&e, t)
+			}
+		},
+		After: func(b *testing.B) {
+			var e sim.Engine
+			t := &addTask{}
+			run(&e, t) // warm the ring and overflow backing arrays
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run(&e, t)
+			}
+		},
+	}
+}
+
+// arenaEndToEndCase pairs the full PR 8 configuration (memoized,
+// batched EU + SU dispatch) on the reference heap + value-mode hits
+// buffer against the same configuration on the calendar queue +
+// index-based hit arena — the tentpole's end-to-end speedup row. The
+// After side asserts byte-identity against the reference before the
+// timed region.
+func arenaEndToEndCase() Case {
+	run := func(b *testing.B, ref bool) *accel.Report {
+		a, reads, memo := dispatchData()
+		o := accel.NvWaOptions()
+		o.Memo = memo
+		o.Batched = true
+		o.BatchedSU = true
+		o.TraceBuckets = 4
+		o.RefEventQueue = ref
+		o.RefHitBuffer = ref
+		sys, err := accel.New(a, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sys.Run(reads)
+	}
+	return Case{
+		Kernel: "accel.EndToEnd/arena",
+		Note:   "reference heap + value hits buffer vs calendar queue + index-based hit arena, full batched system",
+		Before: func(b *testing.B) {
+			run(b, true) // warm memo and freelists
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run(b, true)
+			}
+		},
+		After: func(b *testing.B) {
+			ref, err := json.Marshal(run(b, true))
+			if err != nil {
+				b.Fatal(err)
+			}
+			got, err := json.Marshal(run(b, false))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if string(ref) != string(got) {
+				b.Fatal("calendar+arena report diverges from reference heap+value path")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run(b, false)
+			}
+		},
+	}
 }
 
 var (

@@ -1,0 +1,304 @@
+package sim
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"nvwa/internal/ckpt"
+)
+
+// calFireRec is one observed firing: the cycle it fired at and which
+// logical event it was. Two engines executing the same schedule must
+// produce identical sequences.
+type calFireRec struct {
+	at int64
+	id int
+}
+
+// calRecTask records its firing; the pooled no-alloc analogue of the
+// closures the differential driver schedules.
+type calRecTask struct {
+	e   *Engine
+	id  int
+	log *[]calFireRec
+}
+
+func (t *calRecTask) Fire() {
+	*t.log = append(*t.log, calFireRec{t.e.Now(), t.id})
+}
+
+func (t *calRecTask) TaskKind() string { return "calrec" }
+
+// calOp is one step of a generated schedule program, executed from
+// inside a fired event so pushes interleave with pops the way a live
+// machine's do.
+type calOp struct {
+	delta   int64 // cycles from now
+	reserve int   // >0: reserve this many seqs, then schedule them out of order
+}
+
+// calDriver replays a program against an engine: each Fire executes a
+// few ops (schedules future recorder events, occasionally through the
+// ReserveSeqs/AtTaskSeq path that lands LOWER seqs in buckets after
+// higher fresh ones), then reschedules itself.
+type calDriver struct {
+	e      *Engine
+	ops    []calOp
+	pos    int
+	nextID int
+	log    *[]calFireRec
+	tasks  []*calRecTask
+}
+
+func (d *calDriver) task(id int) *calRecTask {
+	t := &calRecTask{e: d.e, id: id, log: d.log}
+	d.tasks = append(d.tasks, t)
+	return t
+}
+
+func (d *calDriver) Fire() {
+	*d.log = append(*d.log, calFireRec{d.e.Now(), -1})
+	now := d.e.Now()
+	for step := 0; step < 3 && d.pos < len(d.ops); step++ {
+		op := d.ops[d.pos]
+		d.pos++
+		if op.reserve > 0 {
+			// Reserve first, then schedule fresh higher-seq events at
+			// the same cycles, THEN fill the reserved (lower) seqs —
+			// the exact out-of-order push pattern batched dispatch
+			// produces, which forces bucket seq-sorting.
+			base := d.e.ReserveSeqs(op.reserve)
+			for i := 0; i < op.reserve; i++ {
+				d.e.AtTask(now+op.delta+int64(i%3), d.task(d.nextID))
+				d.nextID++
+			}
+			for i := op.reserve - 1; i >= 0; i-- {
+				d.e.AtTaskSeq(now+op.delta+int64(i%3), base+int64(i), d.task(d.nextID))
+				d.nextID++
+			}
+		} else {
+			d.e.AtTask(now+op.delta, d.task(d.nextID))
+			d.nextID++
+		}
+	}
+	if d.pos < len(d.ops) {
+		d.e.AfterTask(1+d.ops[d.pos].delta%4, d)
+	}
+}
+
+func (d *calDriver) TaskKind() string { return "caldriver" }
+
+// runCalProgram executes the program on a fresh engine in the given
+// queue mode and returns the firing log plus final position counters.
+func runCalProgram(ops []calOp, refHeap bool) ([]calFireRec, int64, int64, int64) {
+	var e Engine
+	e.SetReferenceHeap(refHeap)
+	var log []calFireRec
+	d := &calDriver{e: &e, ops: ops, log: &log}
+	e.AtTask(0, d)
+	e.Run()
+	return log, e.Now(), e.Seq(), e.Fired()
+}
+
+func randCalOps(rng *rand.Rand, n int) []calOp {
+	ops := make([]calOp, n)
+	for i := range ops {
+		var delta int64
+		switch rng.Intn(10) {
+		case 0: // far future: exercises the overflow heap + migration
+			delta = int64(calWindow + rng.Intn(3*calWindow))
+		case 1, 2: // same cycle
+			delta = 0
+		default: // short-range, the common machine pattern
+			delta = int64(rng.Intn(40))
+		}
+		op := calOp{delta: delta}
+		if rng.Intn(6) == 0 {
+			op.reserve = 1 + rng.Intn(5)
+		}
+		ops[i] = op
+	}
+	return ops
+}
+
+// TestCalendarVsHeapDifferential pins the calendar queue against the
+// reference heap on randomized schedules that interleave pushes with
+// pops, cross the overflow horizon, and abuse reserved sequence
+// numbers. The firing order must match event for event.
+func TestCalendarVsHeapDifferential(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		ops := randCalOps(rng, 60)
+		gotLog, gotNow, gotSeq, gotFired := runCalProgram(ops, false)
+		wantLog, wantNow, wantSeq, wantFired := runCalProgram(ops, true)
+		if len(gotLog) != len(wantLog) {
+			t.Fatalf("seed %d: calendar fired %d events, heap %d", seed, len(gotLog), len(wantLog))
+		}
+		for i := range gotLog {
+			if gotLog[i] != wantLog[i] {
+				t.Fatalf("seed %d: firing %d diverges: calendar %+v, heap %+v",
+					seed, i, gotLog[i], wantLog[i])
+			}
+		}
+		if gotNow != wantNow || gotSeq != wantSeq || gotFired != wantFired {
+			t.Fatalf("seed %d: final counters diverge: calendar (now=%d seq=%d fired=%d), heap (now=%d seq=%d fired=%d)",
+				seed, gotNow, gotSeq, gotFired, wantNow, wantSeq, wantFired)
+		}
+	}
+}
+
+// TestCalendarOverflowOrdering drives events far beyond the ring
+// window in descending order and checks they still pop ascending —
+// the overflow heap plus window-jump path.
+func TestCalendarOverflowOrdering(t *testing.T) {
+	var e Engine
+	var log []calFireRec
+	for i := 20; i >= 0; i-- {
+		at := int64(i) * (calWindow / 2)
+		e.AtTask(at, &calRecTask{e: &e, id: i, log: &log})
+	}
+	e.Run()
+	if len(log) != 21 {
+		t.Fatalf("fired %d events, want 21", len(log))
+	}
+	for i, rec := range log {
+		if rec.id != i || rec.at != int64(i)*(calWindow/2) {
+			t.Fatalf("firing %d = %+v, want id=%d at=%d", i, rec, i, int64(i)*(calWindow/2))
+		}
+	}
+}
+
+// TestCalendarPendingParity checks the diagnostic surfaces — pending
+// inventory, bounded watchdog summary, and checkpoint state encoding —
+// are identical across queue implementations mid-run.
+func TestCalendarPendingParity(t *testing.T) {
+	build := func(refHeap bool) *Engine {
+		var e Engine
+		e.SetReferenceHeap(refHeap)
+		var log []calFireRec
+		d := &calDriver{e: &e, ops: randCalOps(rand.New(rand.NewSource(7)), 40), log: &log}
+		e.AtTask(0, d)
+		e.RunUntil(25)
+		return &e
+	}
+	cal, heap := build(false), build(true)
+	ce, he := cal.PendingEvents(), heap.PendingEvents()
+	if len(ce) == 0 {
+		t.Fatal("test wants a non-empty pending set mid-run")
+	}
+	if len(ce) != len(he) {
+		t.Fatalf("pending inventories differ: calendar %d, heap %d", len(ce), len(he))
+	}
+	for i := range ce {
+		if ce[i] != he[i] {
+			t.Fatalf("pending event %d: calendar %+v, heap %+v", i, ce[i], he[i])
+		}
+	}
+	if cs, hs := cal.PendingSummary(5), heap.PendingSummary(5); cs != hs {
+		t.Fatalf("PendingSummary diverges:\ncalendar: %s\nheap:     %s", cs, hs)
+	}
+	var cb, hb ckpt.Encoder
+	cal.EncodeState(&cb)
+	heap.EncodeState(&hb)
+	if !bytes.Equal(cb.Bytes(), hb.Bytes()) {
+		t.Fatal("EncodeState bytes diverge between queue implementations")
+	}
+}
+
+// TestCalendarToggleMidRun flips the queue implementation with events
+// pending; the pending set must survive the migration and the rest of
+// the run must fire in the same order as an untoggled run.
+func TestCalendarToggleMidRun(t *testing.T) {
+	run := func(toggleAt []int64) []calFireRec {
+		var e Engine
+		var log []calFireRec
+		d := &calDriver{e: &e, ops: randCalOps(rand.New(rand.NewSource(11)), 50), log: &log}
+		e.AtTask(0, d)
+		for _, cyc := range toggleAt {
+			e.RunUntil(cyc)
+			e.SetReferenceHeap(!e.ReferenceHeap())
+		}
+		e.Run()
+		return log
+	}
+	want := run(nil)
+	got := run([]int64{5, 17, 40, 41})
+	if len(got) != len(want) {
+		t.Fatalf("toggled run fired %d events, untoggled %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("firing %d diverges after mid-run toggles: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCalendarPushPopZeroAlloc pins the calendar hot path: a warm
+// engine scheduling pooled tasks — including the reserved-seq path
+// that dirties bucket sort order — must not allocate.
+func TestCalendarPushPopZeroAlloc(t *testing.T) {
+	var e Engine
+	var n nopTask
+	round := func() {
+		base := e.ReserveSeqs(4)
+		for i := 0; i < 8; i++ {
+			e.AtTask(e.Now()+int64(i%3), &n)
+		}
+		for i := 3; i >= 0; i-- {
+			e.AtTaskSeq(e.Now()+int64(i%3), base+int64(i), &n)
+		}
+		e.Run()
+	}
+	// Each round advances now by 2 cycles; warm all the way around the
+	// ring so every slot's bucket has grown to peak occupancy before
+	// measuring.
+	for i := 0; i < 600; i++ {
+		round()
+	}
+	if allocs := testing.AllocsPerRun(200, round); allocs != 0 {
+		t.Fatalf("calendar push/pop allocates %v per round, want 0", allocs)
+	}
+}
+
+// FuzzCalendarVsHeap feeds arbitrary schedule programs to both queue
+// implementations and requires identical firing order and final
+// counters.
+func FuzzCalendarVsHeap(f *testing.F) {
+	f.Add([]byte{3, 0, 130, 9, 200, 1, 7, 7})
+	f.Add([]byte{0, 255, 128, 64, 32, 16, 8, 4, 2, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 256 {
+			t.Skip()
+		}
+		ops := make([]calOp, 0, len(data))
+		for _, b := range data {
+			op := calOp{delta: int64(b & 0x3f)}
+			if b&0x40 != 0 {
+				op.delta *= calWindow / 16 // push past the overflow horizon
+			}
+			if b&0x80 != 0 {
+				op.reserve = 1 + int(b&3)
+			}
+			ops = append(ops, op)
+		}
+		gotLog, gotNow, gotSeq, gotFired := runCalProgram(ops, false)
+		wantLog, wantNow, wantSeq, wantFired := runCalProgram(ops, true)
+		if len(gotLog) != len(wantLog) {
+			t.Fatalf("calendar fired %d events, heap %d", len(gotLog), len(wantLog))
+		}
+		for i := range gotLog {
+			if gotLog[i] != wantLog[i] {
+				t.Fatalf("firing %d diverges: calendar %+v, heap %+v", i, gotLog[i], wantLog[i])
+			}
+		}
+		if gotNow != wantNow || gotSeq != wantSeq || gotFired != wantFired {
+			t.Fatalf("final counters diverge: calendar (now=%d seq=%d fired=%d), heap (now=%d seq=%d fired=%d)",
+				gotNow, gotSeq, gotFired, wantNow, wantSeq, wantFired)
+		}
+	})
+}

@@ -19,8 +19,17 @@ type Engine struct {
 	now    int64
 	seq    int64
 	fired  int64
-	events eventHeap
 	clamps int64
+
+	// The pending-event queue has two interchangeable implementations
+	// that pop in the identical (at, seq) total order: the calendar
+	// queue (default — see calendar.go) and the original binary
+	// min-heap, retained as the reference oracle behind
+	// SetReferenceHeap. Exactly one holds events at a time; every
+	// access goes through qPush/qPop/qPeekAt/qLen/qEvents.
+	cal     calendarQueue
+	heap    eventHeap
+	refHeap bool
 
 	// Strict makes At panic when asked to schedule strictly in the
 	// past instead of silently clamping to now. Tests run strict so
@@ -46,12 +55,24 @@ type Task interface {
 	Fire()
 }
 
-// event is one queue entry. Exactly one of fn and task is set; firing
-// order between closure and task events is identical (seq decides).
+// funcTask adapts a closure scheduled via At to the Task interface.
+// Func values are pointer-shaped, so the conversion into the interface
+// never allocates — the closure itself is At's only allocation.
+type funcTask func()
+
+// Fire implements Task.
+func (f funcTask) Fire() { f() }
+
+// TaskKind implements TaskKind: closure events report as "fn" in
+// diagnostics and checkpoint inventories.
+func (funcTask) TaskKind() string { return "fn" }
+
+// event is one queue entry: 32 bytes, so heap sifts and bucket appends
+// move two words of payload besides the (at, seq) key. Closures ride
+// in task too, wrapped as funcTask.
 type event struct {
 	at   int64
 	seq  int64
-	fn   func()
 	task Task
 }
 
@@ -117,6 +138,80 @@ func (h eventHeap) siftDown(i int) {
 	}
 }
 
+// qPush enqueues ev on whichever queue implementation is active.
+func (e *Engine) qPush(ev event) {
+	if e.refHeap {
+		e.heap.push(ev)
+		return
+	}
+	e.cal.push(ev, e.now)
+}
+
+// qPop removes and returns the next event in (at, seq) order. The
+// caller guarantees qLen() > 0.
+func (e *Engine) qPop() event {
+	if e.refHeap {
+		return e.heap.pop()
+	}
+	return e.cal.pop()
+}
+
+// qPeekAt returns the cycle of the next event without removing it.
+// The caller guarantees qLen() > 0.
+func (e *Engine) qPeekAt() int64 {
+	if e.refHeap {
+		return e.heap[0].at
+	}
+	return e.cal.peekAt()
+}
+
+// qLen returns the number of queued events.
+func (e *Engine) qLen() int {
+	if e.refHeap {
+		return len(e.heap)
+	}
+	return e.cal.len()
+}
+
+// qEvents appends every pending event to out in no particular order —
+// the raw inventory behind PendingEvents and queue migration.
+func (e *Engine) qEvents(out []event) []event {
+	if e.refHeap {
+		return append(out, e.heap...)
+	}
+	return e.cal.appendEvents(out)
+}
+
+// SetReferenceHeap switches the engine between the calendar queue
+// (false, the default) and the reference binary min-heap (true),
+// migrating any pending events. Both implementations pop in the same
+// (at, seq) order, so the toggle is observationally inert — it exists
+// so differential tests and kernel benchmarks can pin the calendar
+// queue against the oracle on live workloads.
+func (e *Engine) SetReferenceHeap(useHeap bool) {
+	if useHeap == e.refHeap {
+		return
+	}
+	pending := e.qEvents(nil)
+	if useHeap {
+		e.cal = calendarQueue{}
+	} else {
+		e.heap = nil
+		// The calendar's window anchors at the first pushed cycle and
+		// never rewinds, so migrated events must arrive in ascending
+		// cycle order (a live engine guarantees this naturally because
+		// pushes are clamped to now; a migration dump is unordered).
+		sort.Slice(pending, func(i, j int) bool { return pending[i].at < pending[j].at })
+	}
+	e.refHeap = useHeap
+	for _, ev := range pending {
+		e.qPush(ev)
+	}
+}
+
+// ReferenceHeap reports whether the reference heap is active.
+func (e *Engine) ReferenceHeap() bool { return e.refHeap }
+
 // Now returns the current simulation cycle.
 func (e *Engine) Now() int64 { return e.now }
 
@@ -146,7 +241,7 @@ func (e *Engine) clampCycle(cycle int64) int64 {
 // events; see clampCycle for the clamp policy.
 func (e *Engine) At(cycle int64, fn func()) {
 	cycle = e.clampCycle(cycle)
-	e.events.push(event{at: cycle, seq: e.seq, fn: fn})
+	e.qPush(event{at: cycle, seq: e.seq, task: funcTask(fn)})
 	e.seq++
 }
 
@@ -156,7 +251,7 @@ func (e *Engine) At(cycle int64, fn func()) {
 // recycle task structs across events.
 func (e *Engine) AtTask(cycle int64, t Task) {
 	cycle = e.clampCycle(cycle)
-	e.events.push(event{at: cycle, seq: e.seq, task: t})
+	e.qPush(event{at: cycle, seq: e.seq, task: t})
 	e.seq++
 }
 
@@ -181,7 +276,7 @@ func (e *Engine) ReserveSeqs(n int) int64 {
 // ordering; callers own that discipline.
 func (e *Engine) AtTaskSeq(cycle, seq int64, t Task) {
 	cycle = e.clampCycle(cycle)
-	e.events.push(event{at: cycle, seq: seq, task: t})
+	e.qPush(event{at: cycle, seq: seq, task: t})
 }
 
 // Clamps returns how many past-cycle schedules were clamped to now.
@@ -200,18 +295,14 @@ func (e *Engine) fire(ev event) {
 	if e.OnAdvance != nil {
 		e.OnAdvance(e.now)
 	}
-	if ev.fn != nil {
-		ev.fn()
-	} else {
-		ev.task.Fire()
-	}
+	ev.task.Fire()
 }
 
 // Run processes events until the queue is empty and returns the final
 // cycle.
 func (e *Engine) Run() int64 {
-	for len(e.events) > 0 {
-		e.fire(e.events.pop())
+	for e.qLen() > 0 {
+		e.fire(e.qPop())
 	}
 	return e.now
 }
@@ -219,8 +310,8 @@ func (e *Engine) Run() int64 {
 // RunUntil processes events up to and including the given cycle.
 // Remaining events stay queued.
 func (e *Engine) RunUntil(cycle int64) {
-	for len(e.events) > 0 && e.events[0].at <= cycle {
-		e.fire(e.events.pop())
+	for e.qLen() > 0 && e.qPeekAt() <= cycle {
+		e.fire(e.qPop())
 	}
 	if e.now < cycle {
 		e.now = cycle
@@ -228,7 +319,7 @@ func (e *Engine) RunUntil(cycle int64) {
 }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return e.events.Len() }
+func (e *Engine) Pending() int { return e.qLen() }
 
 // Fired returns the total number of events fired so far. The fired
 // count is the engine's replay coordinate: unlike the cycle, it
@@ -257,9 +348,6 @@ type PendingEvent struct {
 }
 
 func eventKind(ev event) string {
-	if ev.fn != nil {
-		return "fn"
-	}
 	if k, ok := ev.task.(TaskKind); ok {
 		return k.TaskKind()
 	}
@@ -269,8 +357,9 @@ func eventKind(ev event) string {
 // PendingEvents returns descriptors for every queued event, sorted by
 // firing order (at, seq). The heap itself is not disturbed.
 func (e *Engine) PendingEvents() []PendingEvent {
-	out := make([]PendingEvent, len(e.events))
-	for i, ev := range e.events {
+	evs := e.qEvents(nil)
+	out := make([]PendingEvent, len(evs))
+	for i, ev := range evs {
 		out[i] = PendingEvent{At: ev.at, Seq: ev.seq, Kind: eventKind(ev)}
 	}
 	sort.Slice(out, func(i, j int) bool {

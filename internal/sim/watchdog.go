@@ -59,11 +59,11 @@ func (e *Engine) RunBounded(limitCycle, maxFired int64, w *Watchdog, st *GuardSt
 			perCycle = DefaultMaxEventsPerCycle
 		}
 	}
-	for len(e.events) > 0 {
+	for e.qLen() > 0 {
 		if maxFired >= 0 && e.fired >= maxFired {
 			return nil
 		}
-		next := e.events[0].at
+		next := e.qPeekAt()
 		if limitCycle >= 0 && next > limitCycle {
 			return nil
 		}
@@ -71,7 +71,7 @@ func (e *Engine) RunBounded(limitCycle, maxFired int64, w *Watchdog, st *GuardSt
 			if w.MaxCycles > 0 && next > w.MaxCycles {
 				return fmt.Errorf(
 					"sim: watchdog: cycle budget %d exceeded (next event at cycle %d, %d events pending)%s",
-					w.MaxCycles, next, len(e.events), e.pendingNote())
+					w.MaxCycles, next, e.qLen(), e.pendingNote())
 			}
 			if next != st.cycle {
 				st.cycle = next
@@ -87,10 +87,10 @@ func (e *Engine) RunBounded(limitCycle, maxFired int64, w *Watchdog, st *GuardSt
 			if w.MaxEvents > 0 && st.total > w.MaxEvents {
 				return fmt.Errorf(
 					"sim: watchdog: event budget %d exceeded at cycle %d (%d events pending)%s",
-					w.MaxEvents, st.cycle, len(e.events), e.pendingNote())
+					w.MaxEvents, st.cycle, e.qLen(), e.pendingNote())
 			}
 		}
-		e.fire(e.events.pop())
+		e.fire(e.qPop())
 	}
 	return nil
 }
